@@ -1,0 +1,13 @@
+"""A-series bench: regenerate the ablation table."""
+
+
+def test_ablation_table(run_experiment):
+    result = run_experiment("A")
+    rows = {row["ablation"]: row for row in result.rows}
+    # The filter's claimed role: fewer queries, same guarantees.
+    assert rows["A1 filter ON"]["queries"] <= rows["A1 filter OFF"]["queries"]
+    # Removal's claimed role: no heavier without it being disabled.
+    assert (
+        rows["A2 removal OFF"]["lightness"]
+        >= rows["A1 filter ON"]["lightness"] - 1e-9
+    )

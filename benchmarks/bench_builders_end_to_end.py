@@ -1,0 +1,55 @@
+"""End-to-end builder benchmarks: sequential vs distributed wall time.
+
+Complements E8 (query-count comparison) with raw wall-clock measurements
+of full builds at a fixed instance size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.relaxed_greedy import RelaxedGreedySpanner
+from repro.core.seq_greedy import seq_greedy
+from repro.distributed.dist_spanner import DistributedRelaxedGreedy
+from repro.geometry.sampling import uniform_points
+from repro.graphs.analysis import measure_stretch
+from repro.graphs.build import build_udg
+from repro.params import SpannerParams
+
+
+@pytest.fixture(scope="module")
+def instance():
+    points = uniform_points(200, seed=321)
+    return points, build_udg(points), SpannerParams.from_epsilon(0.5)
+
+
+def test_build_seq_greedy(benchmark, instance):
+    points, graph, params = instance
+    spanner = benchmark.pedantic(
+        lambda: seq_greedy(graph, params.t), rounds=3, iterations=1
+    )
+    assert measure_stretch(graph, spanner).max_stretch <= params.t + 1e-9
+
+
+def test_build_relaxed_greedy(benchmark, instance):
+    points, graph, params = instance
+    builder = RelaxedGreedySpanner(params)
+    result = benchmark.pedantic(
+        lambda: builder.build(graph, points.distance), rounds=3, iterations=1
+    )
+    assert (
+        measure_stretch(graph, result.spanner).max_stretch
+        <= params.t + 1e-9
+    )
+
+
+def test_build_distributed(benchmark, instance):
+    points, graph, params = instance
+    builder = DistributedRelaxedGreedy(params, seed=1)
+    result = benchmark.pedantic(
+        lambda: builder.build(graph, points.distance), rounds=1, iterations=1
+    )
+    assert (
+        measure_stretch(graph, result.spanner).max_stretch
+        <= params.t + 1e-9
+    )

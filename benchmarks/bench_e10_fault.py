@@ -1,0 +1,7 @@
+"""E10 bench: regenerate the fault-tolerance table."""
+
+
+def test_e10_fault_table(run_experiment):
+    result = run_experiment("E10")
+    for row in result.rows:
+        assert row["ft_failures"] == 0

@@ -1,0 +1,7 @@
+"""E1 bench: regenerate the Theorem 10 stretch table."""
+
+
+def test_e1_stretch_table(run_experiment):
+    result = run_experiment("E1")
+    for row in result.rows:
+        assert row["stretch"] <= row["t"] * (1 + 1e-9)

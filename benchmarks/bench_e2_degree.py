@@ -1,0 +1,7 @@
+"""E2 bench: regenerate the Theorem 11 degree-vs-n table."""
+
+
+def test_e2_degree_table(run_experiment):
+    result = run_experiment("E2")
+    degrees = [row["spanner_max_deg"] for row in result.rows]
+    assert max(degrees) <= 10

@@ -1,0 +1,7 @@
+"""E3 bench: regenerate the Theorem 13 lightness-vs-n table."""
+
+
+def test_e3_weight_table(run_experiment):
+    result = run_experiment("E3")
+    for row in result.rows:
+        assert row["lightness"] <= 5.0

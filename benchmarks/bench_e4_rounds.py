@@ -1,0 +1,9 @@
+"""E4 bench: regenerate the distributed round-complexity table."""
+
+
+def test_e4_rounds_table(run_experiment):
+    result = run_experiment("E4")
+    for row in result.rows:
+        assert row["stretch_ok"]
+        # O(1) gather rounds per phase (constant band; alpha=1 workload).
+        assert row["gather_per_phase"] <= 40

@@ -1,0 +1,7 @@
+"""E6 bench: regenerate the alpha/adversary sensitivity table."""
+
+
+def test_e6_alpha_table(run_experiment):
+    result = run_experiment("E6")
+    for row in result.rows:
+        assert row["within_bound"]

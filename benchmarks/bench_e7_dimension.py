@@ -1,0 +1,8 @@
+"""E7 bench: regenerate the dimension (2-D vs 3-D) table."""
+
+
+def test_e7_dimension_table(run_experiment):
+    result = run_experiment("E7")
+    assert {row["d"] for row in result.rows} == {2, 3}
+    for row in result.rows:
+        assert row["within_bound"]

@@ -1,0 +1,7 @@
+"""E8 bench: regenerate the naive-vs-relaxed query-work table."""
+
+
+def test_e8_scaling_table(run_experiment):
+    result = run_experiment("E8")
+    for row in result.rows:
+        assert row["query_ratio"] < 1.0  # relaxed always issues fewer

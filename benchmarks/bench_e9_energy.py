@@ -1,0 +1,8 @@
+"""E9 bench: regenerate the energy-metric / power-cost table."""
+
+
+def test_e9_energy_table(run_experiment):
+    result = run_experiment("E9")
+    for row in result.rows:
+        assert row["within_bound"]
+        assert row["power_vs_input"] <= 1.0 + 1e-9

@@ -1,0 +1,7 @@
+"""F-series bench: regenerate the lemma-validation table."""
+
+
+def test_f_lemma_table(run_experiment):
+    result = run_experiment("F")
+    for row in result.rows:
+        assert row["ok"], row["check"]

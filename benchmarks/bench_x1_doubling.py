@@ -1,0 +1,8 @@
+"""X1 bench: regenerate the doubling-metric (future work) table."""
+
+
+def test_x1_doubling_table(run_experiment):
+    result = run_experiment("X1")
+    assert {row["metric"] for row in result.rows} == {"l1", "linf", "l2"}
+    for row in result.rows:
+        assert row["within_bound"]

@@ -1,0 +1,78 @@
+"""In-network monitoring over the spanner topology.
+
+Run:  python examples/network_monitoring.py
+
+End-to-end protocol stack on one deployment: build the spanner topology
+with the distributed relaxed greedy protocol, elect a coordinator on the
+*spanner* (max-id flooding), grow a BFS tree from it, and convergecast a
+network statistic (total transmit power) up the tree -- the classic
+"what do we run on the controlled topology afterwards" story, with every
+stage's round cost on one bill.
+"""
+
+from repro.distributed import (
+    BFSTree,
+    ConvergecastSum,
+    DistributedRelaxedGreedy,
+    LeaderElection,
+    SynchronousNetwork,
+)
+from repro.extensions.power_cost import power_assignment
+from repro.geometry.sampling import uniform_points
+from repro.graphs.build import build_udg
+from repro.params import SpannerParams
+
+
+def main() -> None:
+    points = uniform_points(150, seed=61, expected_degree=8.0)
+    network = build_udg(points)
+    print(f"network: n={network.num_vertices}, m={network.num_edges}")
+
+    # Stage 1: topology control (Section 3 protocol).
+    params = SpannerParams.from_epsilon(0.5)
+    build = DistributedRelaxedGreedy(params, seed=2).build(
+        network, points.distance
+    )
+    spanner = build.spanner
+    print(f"stage 1 - spanner: {spanner.num_edges} links, "
+          f"{build.total_rounds} rounds")
+
+    # Stage 2: elect a coordinator over the spanner.
+    election = SynchronousNetwork(spanner).run(
+        LeaderElection(rounds=spanner.num_vertices)
+    )
+    leader = election.outputs[0]
+    print(f"stage 2 - leader {leader} elected in {election.rounds} rounds "
+          f"({election.messages} messages)")
+
+    # Stage 3: BFS tree rooted at the coordinator.  Patience bounds how
+    # long nodes outside the coordinator's component wait before giving
+    # up (the deployment may be disconnected).
+    bfs = SynchronousNetwork(spanner).run(
+        BFSTree(leader, patience=spanner.num_vertices)
+    )
+    parents = {
+        v: parent
+        for v, (level, parent) in bfs.outputs.items()
+        if level is not None
+    }
+    depth = max(level for level, _ in bfs.outputs.values() if level is not None)
+    outside = spanner.num_vertices - len(parents)
+    print(f"stage 3 - BFS tree: depth {depth}, {bfs.rounds} rounds"
+          + (f" ({outside} nodes outside the monitored component)"
+             if outside else ""))
+
+    # Stage 4: convergecast the total transmit power of the topology.
+    power = power_assignment(spanner)
+    agg = SynchronousNetwork(spanner).run(
+        ConvergecastSum(parents, {v: power[v] for v in parents})
+    )
+    print(f"stage 4 - total transmit power {agg.outputs[leader]:.3f} "
+          f"aggregated in {agg.rounds} rounds")
+
+    total = build.total_rounds + election.rounds + bfs.rounds + agg.rounds
+    print(f"whole stack: {total} synchronous rounds")
+
+
+if __name__ == "__main__":
+    main()

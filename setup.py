@@ -1,0 +1,7 @@
+"""Legacy setup shim: lets ``pip install -e .`` work without the ``wheel``
+package (this offline environment lacks it, so PEP 660 editable builds
+fail).  All metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,63 @@
+"""Proximity-graph baselines: Gabriel graph and relative neighborhood graph.
+
+Both are classic planar topology-control structures (referenced throughout
+the literature the paper positions against, e.g. [13, 14, 15]):
+
+* **Gabriel graph (GG)**: keep edge ``{u, v}`` iff no other point lies in
+  the closed disk with diameter ``uv``;
+* **relative neighborhood graph (RNG)**: keep ``{u, v}`` iff no point
+  ``z`` satisfies ``max(|uz|, |vz|) < |uv|`` (the "lune" test).
+
+Restricted to UDG edges they preserve connectivity and planarity, and GG
+is optimal for power-metric stretch, but neither bounds Euclidean stretch
+by a constant (GG stretch grows like ``sqrt(n)``, RNG like ``n``) nor
+total weight -- the E5 comparison measures exactly that.
+
+Implementations work in any dimension (the disk/lune tests are purely
+metric) and cost ``O(m * max_degree)`` by only testing witnesses adjacent
+to an endpoint -- a witness inside either region is always within range
+of both endpoints in a UDG, so restricting to neighbors is exact for
+UDG-derived base graphs.
+"""
+
+from __future__ import annotations
+
+from ..geometry.points import PointSet
+from ..graphs.graph import Graph
+
+__all__ = ["gabriel_graph", "relative_neighborhood_graph"]
+
+
+def gabriel_graph(base: Graph, points: PointSet) -> Graph:
+    """Gabriel graph restricted to the edges of ``base``."""
+    out = Graph(base.num_vertices)
+    for u, v, w in base.edges():
+        mid = (points[u] + points[v]) / 2.0
+        radius_sq = w * w / 4.0
+        blocked = False
+        for z in base.neighbors(u):
+            if z == v:
+                continue
+            diff = points[z] - mid
+            if float(diff @ diff) < radius_sq - 1e-15:
+                blocked = True
+                break
+        if not blocked:
+            out.add_edge(u, v, w)
+    return out
+
+
+def relative_neighborhood_graph(base: Graph, points: PointSet) -> Graph:
+    """RNG restricted to the edges of ``base`` (lune emptiness test)."""
+    out = Graph(base.num_vertices)
+    for u, v, w in base.edges():
+        blocked = False
+        for z in base.neighbors(u):
+            if z == v:
+                continue
+            if points.distance(u, z) < w and points.distance(v, z) < w:
+                blocked = True
+                break
+        if not blocked:
+            out.add_edge(u, v, w)
+    return out

@@ -1,0 +1,44 @@
+"""XTC topology control (Wattenhofer & Zollinger, WMAN 2004 -- ref [19]).
+
+XTC is the "practical" end of the comparison spectrum: each node ranks its
+neighbors by link quality (distance here) and drops a neighbor ``v`` iff
+some better-ranked neighbor ``z`` is also ranked better than ``u`` by
+``v`` -- i.e. traffic can route via ``z``.  The result (on UDGs) is
+connected, planar, of degree at most 6, and a subgraph of the RNG, but it
+is **not** a constant-stretch spanner -- the paper's algorithm dominates
+it on stretch and weight while XTC wins on simplicity (2 message rounds).
+"""
+
+from __future__ import annotations
+
+from ..graphs.graph import Graph
+
+__all__ = ["xtc_graph"]
+
+
+def xtc_graph(base: Graph) -> Graph:
+    """XTC topology of ``base`` using edge weight as link order.
+
+    Ties are broken by node id, giving every node a strict total order
+    over its neighbors (the protocol's requirement).
+    """
+    rank: dict[int, dict[int, tuple[float, int]]] = {}
+    for u in base.vertices():
+        rank[u] = {v: (w, v) for v, w in base.neighbor_items(u)}
+
+    out = Graph(base.num_vertices)
+    for u in base.vertices():
+        for v, w in base.neighbor_items(u):
+            if u > v:
+                continue  # decide each edge once; the test is symmetric
+            drop = False
+            for z, z_order in rank[u].items():
+                if z == v:
+                    continue
+                # z better than v for u, and z better than u for v?
+                if z_order < rank[u][v] and z in rank[v] and rank[v][z] < rank[v][u]:
+                    drop = True
+                    break
+            if not drop:
+                out.add_edge(u, v, w)
+    return out

@@ -1,0 +1,104 @@
+"""Yao and Theta graphs -- classical cone-based topology control.
+
+The Yao graph [Yao 1982] partitions the plane around each node into ``k``
+equal cones and keeps, per cone, the edge to the *nearest* neighbor in
+that cone; the Theta graph keeps the neighbor minimizing the projection
+onto the cone bisector.  Both are standard topology-control baselines: for
+``k > 6`` they are spanners of the UDG restricted to each cone's
+reachability, with stretch ``1/(1 - 2*sin(pi/k))`` in the complete-graph
+setting, but they bound only *out*-degree, not total degree, and give no
+weight guarantee -- exactly the gaps the paper's algorithm closes (E5).
+
+These constructions are 2-D (cone partitions in higher dimensions need
+Yao's simplicial machinery; the paper's own baseline comparisons [15] are
+planar too).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..exceptions import GraphError
+from ..geometry.points import PointSet
+from ..graphs.graph import Graph
+
+__all__ = ["yao_graph", "theta_graph", "yao_stretch_bound"]
+
+
+def _check_2d(points: PointSet) -> None:
+    if points.dim != 2:
+        raise GraphError(
+            f"cone-based constructions are 2-D only; got d={points.dim}"
+        )
+
+
+def yao_stretch_bound(k: int) -> float:
+    """Classical stretch bound ``1/(1 - 2*sin(pi/k))`` (finite for k > 6)."""
+    if k <= 6:
+        return math.inf
+    return 1.0 / (1.0 - 2.0 * math.sin(math.pi / k))
+
+
+def _cone_index(dx: float, dy: float, k: int) -> int:
+    angle = math.atan2(dy, dx) % (2.0 * math.pi)
+    idx = int(angle / (2.0 * math.pi / k))
+    return min(idx, k - 1)  # guard the 2*pi boundary
+
+
+def yao_graph(base: Graph, points: PointSet, k: int = 8) -> Graph:
+    """Yao graph of ``base``: nearest neighbor per cone, per node.
+
+    Parameters
+    ----------
+    base:
+        The communication graph (typically a UDG); only its edges are
+        candidates, making this the "Yao topology control" variant used
+        in ad-hoc network papers rather than the complete-graph original.
+    points:
+        2-D coordinates of the vertices.
+    k:
+        Number of cones (``>= 2``).
+    """
+    _check_2d(points)
+    if k < 2:
+        raise GraphError(f"need k >= 2 cones, got {k}")
+    out = Graph(base.num_vertices)
+    for u in base.vertices():
+        best: dict[int, tuple[float, int]] = {}
+        ux, uy = points[u]
+        for v, w in base.neighbor_items(u):
+            vx, vy = points[v]
+            cone = _cone_index(vx - ux, vy - uy, k)
+            entry = (w, v)
+            if cone not in best or entry < best[cone]:
+                best[cone] = entry
+        for w, v in best.values():
+            if not out.has_edge(u, v):
+                out.add_edge(u, v, w)
+    return out
+
+
+def theta_graph(base: Graph, points: PointSet, k: int = 8) -> Graph:
+    """Theta graph of ``base``: per cone, keep the neighbor with the
+    smallest projection onto the cone's bisector."""
+    _check_2d(points)
+    if k < 2:
+        raise GraphError(f"need k >= 2 cones, got {k}")
+    out = Graph(base.num_vertices)
+    cone_angle = 2.0 * math.pi / k
+    for u in base.vertices():
+        best: dict[int, tuple[float, int, float]] = {}
+        ux, uy = points[u]
+        for v, w in base.neighbor_items(u):
+            vx, vy = points[v]
+            dx, dy = vx - ux, vy - uy
+            cone = _cone_index(dx, dy, k)
+            bisector = (cone + 0.5) * cone_angle
+            projection = dx * math.cos(bisector) + dy * math.sin(bisector)
+            entry = (projection, v, w)
+            if cone not in best or entry < best[cone]:
+                best[cone] = entry
+        for projection, v, w in best.values():
+            if not out.has_edge(u, v):
+                out.add_edge(u, v, w)
+    return out

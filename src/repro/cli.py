@@ -1,0 +1,167 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three commands cover the deploy-and-inspect loop a downstream user needs
+without writing Python:
+
+* ``generate`` -- sample a named workload and save it as a JSON instance;
+* ``build`` -- load an instance, run the sequential or distributed
+  relaxed greedy algorithm, report quality, optionally save the spanner;
+* ``experiments`` -- run the E/F/A/X experiment suite (thin alias for
+  :mod:`repro.experiments.run_all`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .core.relaxed_greedy import RelaxedGreedySpanner
+from .distributed.dist_spanner import DistributedRelaxedGreedy
+from .experiments.workloads import WORKLOAD_NAMES, make_workload
+from .graphs.analysis import assess
+from .graphs.io import load_instance, save_instance
+from .params import SpannerParams
+
+__all__ = ["main"]
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    workload = make_workload(
+        args.workload,
+        args.n,
+        seed=args.seed,
+        alpha=args.alpha,
+        policy=args.policy or None,
+    )
+    save_instance(
+        args.output,
+        workload.graph,
+        workload.points,
+        metadata={
+            "workload": args.workload,
+            "n": args.n,
+            "seed": args.seed,
+            "alpha": args.alpha,
+        },
+    )
+    print(
+        f"wrote {args.output}: {workload.name}, n={workload.n}, "
+        f"m={workload.graph.num_edges}, alpha={workload.alpha}"
+    )
+    return 0
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    graph, points, meta = load_instance(args.instance)
+    if points is None:
+        print("instance has no coordinates; cannot build", file=sys.stderr)
+        return 2
+    alpha = float(meta.get("alpha", 1.0))
+    params = SpannerParams.from_epsilon(
+        args.epsilon, alpha=alpha, dim=points.dim
+    )
+    if args.distributed:
+        result = DistributedRelaxedGreedy(params, seed=args.seed).build(
+            graph, points.distance
+        )
+        spanner = result.spanner
+        print(result.ledger.summary())
+    else:
+        spanner = RelaxedGreedySpanner(params).build(
+            graph, points.distance
+        ).spanner
+    quality = assess(graph, spanner)
+    print(
+        json.dumps(
+            {
+                "n": graph.num_vertices,
+                "input_edges": graph.num_edges,
+                "spanner_edges": quality.edges,
+                "stretch": quality.stretch,
+                "max_degree": quality.max_degree,
+                "lightness": quality.lightness,
+                "power_cost_ratio": quality.power_cost_ratio,
+                "epsilon": args.epsilon,
+            },
+            indent=2,
+        )
+    )
+    if args.output:
+        save_instance(
+            args.output,
+            spanner,
+            points,
+            metadata={**meta, "epsilon": args.epsilon, "spanner": True},
+        )
+        print(f"spanner written to {args.output}")
+    return 0 if quality.stretch <= params.t * (1 + 1e-9) else 1
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from .experiments.run_all import main as run_all_main
+
+    forwarded: list[str] = []
+    if args.quick:
+        forwarded.append("--quick")
+    if args.only:
+        forwarded.extend(["--only", args.only])
+    if args.markdown:
+        forwarded.append("--markdown")
+    forwarded.extend(["--seed", str(args.seed)])
+    return run_all_main(forwarded)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="(1+eps)-spanner topology control (PODC'06 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="sample a workload instance")
+    gen.add_argument("output", help="destination JSON path")
+    gen.add_argument(
+        "--workload", choices=sorted(WORKLOAD_NAMES), default="uniform"
+    )
+    gen.add_argument("--n", type=int, default=200)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--alpha", type=float, default=1.0)
+    gen.add_argument(
+        "--policy", choices=["bernoulli", "decay"], default=None,
+        help="gray-zone adversary when alpha < 1",
+    )
+    gen.set_defaults(func=_cmd_generate)
+
+    build = sub.add_parser("build", help="build a spanner for an instance")
+    build.add_argument("instance", help="instance JSON from `generate`")
+    build.add_argument("--epsilon", type=float, default=0.5)
+    build.add_argument("--seed", type=int, default=0)
+    build.add_argument(
+        "--distributed", action="store_true",
+        help="run the Section 3 distributed protocol with round accounting",
+    )
+    build.add_argument(
+        "--output", default=None, help="save the spanner as JSON"
+    )
+    build.set_defaults(func=_cmd_build)
+
+    exp = sub.add_parser("experiments", help="run the experiment suite")
+    exp.add_argument("--quick", action="store_true")
+    exp.add_argument("--only", default="")
+    exp.add_argument("--markdown", action="store_true")
+    exp.add_argument("--seed", type=int, default=0)
+    exp.set_defaults(func=_cmd_experiments)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,62 @@
+"""The paper's primary contribution: relaxed greedy spanner construction."""
+
+from .bins import EdgeBinning
+from .cluster_graph import ClusterGraph, build_cluster_graph
+from .cover import ClusterCover, build_cluster_cover, cover_from_centers
+from .covered import DistanceOracle, is_covered, split_covered
+from .leapfrog import (
+    LeapfrogReport,
+    check_subset,
+    leapfrog_holds_for_sequence,
+    partition_by_length,
+    sample_leapfrog,
+)
+from .redundancy import (
+    RedundancyOutcome,
+    build_conflict_graph,
+    find_redundant_pairs,
+    greedy_mis,
+    remove_redundant_edges,
+)
+from .relaxed_greedy import (
+    PhaseReport,
+    RelaxedGreedySpanner,
+    SpannerResult,
+    build_spanner,
+)
+from .selection import QuerySelection, select_query_edges
+from .seq_greedy import GreedyStats, greedy_spanner_of_clique, seq_greedy
+from .short_edges import ShortEdgeOutcome, process_short_edges
+
+__all__ = [
+    "EdgeBinning",
+    "ClusterCover",
+    "build_cluster_cover",
+    "cover_from_centers",
+    "ClusterGraph",
+    "build_cluster_graph",
+    "DistanceOracle",
+    "is_covered",
+    "split_covered",
+    "QuerySelection",
+    "select_query_edges",
+    "GreedyStats",
+    "seq_greedy",
+    "greedy_spanner_of_clique",
+    "ShortEdgeOutcome",
+    "process_short_edges",
+    "RedundancyOutcome",
+    "greedy_mis",
+    "find_redundant_pairs",
+    "build_conflict_graph",
+    "remove_redundant_edges",
+    "PhaseReport",
+    "SpannerResult",
+    "RelaxedGreedySpanner",
+    "build_spanner",
+    "LeapfrogReport",
+    "leapfrog_holds_for_sequence",
+    "check_subset",
+    "partition_by_length",
+    "sample_leapfrog",
+]

@@ -1,0 +1,170 @@
+"""The Das--Narasimhan cluster graph ``H_{i-1}`` (Section 2.2.3).
+
+``H_{i-1}`` is a constant-hop-diameter approximation of the partial
+spanner ``G'_{i-1}`` used to answer all shortest-path queries of phase
+``i``:
+
+* **intra-cluster edges** ``{a, x}`` join each cluster center ``a`` to each
+  member ``x`` of its cluster, weighted ``sp_{G'}(a, x)``;
+* **inter-cluster edges** ``{a, b}`` join centers whose clusters are close:
+  either ``sp_{G'}(a, b) <= W_{i-1}`` (condition i) or some spanner edge
+  crosses between the clusters (condition ii); the weight is always
+  ``sp_{G'}(a, b)`` and is at most ``(2*delta + 1) * W_{i-1}`` (Lemma 5).
+
+Lemma 7 guarantees path lengths in ``H`` sandwich those of ``G'``:
+``L1 <= L2 <= (1 + 6*delta)/(1 - 2*delta) * L1``; Lemma 8 bounds the hops
+of any relevant ``H``-path by ``2 + ceil(t*r/delta)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import GraphError
+from ..graphs.graph import Graph
+from ..graphs.paths import dijkstra
+from .cover import ClusterCover
+
+__all__ = ["ClusterGraph", "build_cluster_graph"]
+
+
+@dataclass(frozen=True)
+class ClusterGraph:
+    """Cluster graph ``H`` with its bookkeeping.
+
+    Attributes
+    ----------
+    graph:
+        The cluster graph itself (same vertex ids as the spanner; only
+        centers and members carry edges).
+    cover:
+        The cluster cover ``H`` was built from.
+    w_prev:
+        The bin boundary ``W_{i-1}`` governing inter-cluster edges.
+    num_intra_edges / num_inter_edges:
+        Edge-type counts (Lemma 6 bounds inter-cluster degree).
+    """
+
+    graph: Graph
+    cover: ClusterCover
+    w_prev: float
+    num_intra_edges: int
+    num_inter_edges: int
+
+    def distance(self, x: int, y: int, *, cutoff: float | None = None) -> float:
+        """Shortest-path distance ``sp_H(x, y)``.
+
+        Returns ``inf`` when no path exists (within ``cutoff`` if given).
+        """
+        if x == y:
+            return 0.0
+        return dijkstra(self.graph, x, cutoff=cutoff, targets={y}).get(
+            y, float("inf")
+        )
+
+    def distances_from(
+        self, x: int, *, cutoff: float | None = None
+    ) -> dict[int, float]:
+        """All ``sp_H(x, .)`` distances within ``cutoff``."""
+        return dijkstra(self.graph, x, cutoff=cutoff)
+
+    def inter_center_degree(self) -> int:
+        """Maximum number of inter-cluster edges at any center (Lemma 6)."""
+        worst = 0
+        centers = set(self.cover.centers)
+        for a in centers:
+            count = sum(1 for v in self.graph.neighbors(a) if v in centers)
+            worst = max(worst, count)
+        return worst
+
+
+def build_cluster_graph(
+    spanner: Graph,
+    cover: ClusterCover,
+    w_prev: float,
+    delta: float,
+) -> ClusterGraph:
+    """Construct ``H_{i-1}`` from the partial spanner and its cover.
+
+    Parameters
+    ----------
+    spanner:
+        The partial spanner ``G'_{i-1}``.
+    cover:
+        Cluster cover of ``spanner`` with radius ``delta * w_prev``.
+    w_prev:
+        Bin boundary ``W_{i-1}``.
+    delta:
+        Cover radius factor (used for the Lemma 5 search cutoff).
+
+    Notes
+    -----
+    Inter-cluster distances are computed by one cutoff-Dijkstra per center
+    on ``spanner`` with cutoff ``2*delta*w_prev + max(w_prev, longest
+    crossing spanner edge)``.  For edges added in phases ``1..i-1`` the
+    crossing length is at most ``W_{i-1}`` and the cutoff reduces to the
+    Lemma 5 bound ``(2*delta + 1)*w_prev``; phase-0 clique-spanner edges
+    may be longer (their lengths are bounded by ``alpha``, not ``W_0``), so
+    the cutoff stretches just enough to keep condition (ii) exact.
+    """
+    if w_prev <= 0.0:
+        raise GraphError(f"w_prev must be positive, got {w_prev}")
+    if delta <= 0.0:
+        raise GraphError(f"delta must be positive, got {delta}")
+    h = Graph(spanner.num_vertices)
+    num_intra = 0
+    # Intra-cluster edges come straight from the cover's center distances.
+    for v, center in cover.assignment.items():
+        if v == center:
+            continue
+        d = cover.center_distance[v]
+        if d > 0.0:
+            h.add_edge(center, v, d)
+            num_intra += 1
+
+    # Candidate inter-cluster pairs from condition (ii): spanner edges that
+    # cross between clusters.
+    crossing: set[tuple[int, int]] = set()
+    longest_crossing = 0.0
+    for u, v, w in spanner.edges():
+        a, b = cover.assignment.get(u), cover.assignment.get(v)
+        if a is None or b is None or a == b:
+            continue
+        crossing.add((min(a, b), max(a, b)))
+        longest_crossing = max(longest_crossing, w)
+
+    reach = 2.0 * delta * w_prev + max(w_prev, longest_crossing)
+    centers = list(cover.centers)
+    center_set = set(centers)
+    num_inter = 0
+    center_rows: dict[int, dict[int, float]] = {}
+    for a in centers:
+        center_rows[a] = {
+            v: d
+            for v, d in dijkstra(spanner, a, cutoff=reach).items()
+            if v in center_set and v != a
+        }
+    for a in centers:
+        for b, d in center_rows[a].items():
+            if b <= a:
+                continue  # handle each unordered pair once
+            is_near = d <= w_prev  # condition (i)
+            is_crossing = (a, b) in crossing  # condition (ii)
+            if (is_near or is_crossing) and not h.has_edge(a, b):
+                h.add_edge(a, b, d)
+                num_inter += 1
+    # Defensive: condition (ii) pairs must have been within the Lemma 5
+    # reach; a miss means the cover or spanner handed to us is inconsistent.
+    for a, b in crossing:
+        if not h.has_edge(a, b):
+            raise GraphError(
+                f"inter-cluster edge ({a}, {b}) required by a crossing "
+                f"spanner edge exceeds the Lemma 5 bound {reach:.6g}"
+            )
+    return ClusterGraph(
+        graph=h,
+        cover=cover,
+        w_prev=w_prev,
+        num_intra_edges=num_intra,
+        num_inter_edges=num_inter,
+    )

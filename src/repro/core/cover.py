@@ -1,0 +1,191 @@
+"""Cluster covers (Section 2.2.1).
+
+A *cluster cover* of a graph ``J`` with radius ``rho`` is a set of clusters
+``{C_{u_1}, C_{u_2}, ...}`` such that every cluster has shortest-path
+radius at most ``rho`` around its center, every vertex belongs to a
+cluster, and any two centers are more than ``rho`` apart in shortest-path
+distance.  Phase ``i`` of the relaxed greedy algorithm covers the current
+partial spanner ``G'_{i-1}`` with radius ``delta * W_{i-1}``.
+
+Two constructions are provided:
+
+* :func:`build_cluster_cover` -- the paper's sequential ball-growing
+  (repeatedly Dijkstra from an uncovered vertex);
+* :func:`cover_from_centers` -- assignment given externally chosen centers
+  (the distributed algorithm obtains centers as an MIS of the proximity
+  graph ``J`` and attaches every other node to its highest-id center
+  within range, Section 3.2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..exceptions import GraphError
+from ..graphs.graph import Graph
+from ..graphs.paths import dijkstra
+
+__all__ = ["ClusterCover", "build_cluster_cover", "cover_from_centers"]
+
+
+@dataclass(frozen=True)
+class ClusterCover:
+    """A cluster cover of some graph.
+
+    Attributes
+    ----------
+    radius:
+        Cover radius ``rho``.
+    centers:
+        Cluster centers, in construction order.
+    assignment:
+        ``vertex -> center`` (each vertex is assigned to exactly one
+        cluster even though the definition permits overlap; uniqueness is
+        what both the selection step and the cluster graph need).
+    center_distance:
+        ``vertex -> sp(center(vertex), vertex)`` within the covered graph;
+        at most ``radius`` for every vertex.
+    members:
+        ``center -> sorted member list`` (inverse of ``assignment``).
+    """
+
+    radius: float
+    centers: tuple[int, ...]
+    assignment: dict[int, int]
+    center_distance: dict[int, float]
+    members: dict[int, tuple[int, ...]] = field(default_factory=dict)
+
+    @property
+    def num_clusters(self) -> int:
+        """Number of clusters in the cover."""
+        return len(self.centers)
+
+    def center_of(self, v: int) -> int:
+        """Center of the cluster that vertex ``v`` belongs to."""
+        try:
+            return self.assignment[v]
+        except KeyError:
+            raise GraphError(f"vertex {v} is not covered") from None
+
+    def distance_to_center(self, v: int) -> float:
+        """Shortest-path distance from ``v`` to its cluster center."""
+        try:
+            return self.center_distance[v]
+        except KeyError:
+            raise GraphError(f"vertex {v} is not covered") from None
+
+
+def _finalize(
+    radius: float,
+    centers: list[int],
+    assignment: dict[int, int],
+    center_distance: dict[int, float],
+) -> ClusterCover:
+    members: dict[int, list[int]] = {c: [] for c in centers}
+    for v, c in assignment.items():
+        members[c].append(v)
+    return ClusterCover(
+        radius=radius,
+        centers=tuple(centers),
+        assignment=assignment,
+        center_distance=center_distance,
+        members={c: tuple(sorted(vs)) for c, vs in members.items()},
+    )
+
+
+def build_cluster_cover(
+    graph: Graph,
+    radius: float,
+    *,
+    vertices: Iterable[int] | None = None,
+    order: Sequence[int] | None = None,
+) -> ClusterCover:
+    """Sequential ball-growing cluster cover (Section 2.2.1).
+
+    Repeatedly: pick the first uncovered vertex (in ``order``, default by
+    id), run Dijkstra from it on ``graph`` with cutoff ``radius``, and
+    claim every still-uncovered vertex reached.  Centers are only ever
+    chosen among uncovered vertices, which yields the required
+    ``sp(center_i, center_j) > radius`` separation.
+
+    Parameters
+    ----------
+    graph:
+        The graph to cover (the partial spanner ``G'_{i-1}`` in phase i).
+    radius:
+        Cover radius ``rho = delta * W_{i-1}``; must be >= 0.
+    vertices:
+        Subset to cover (default: every vertex of ``graph``).
+    order:
+        Explicit center-candidate order, for deterministic experiments.
+    """
+    if radius < 0.0:
+        raise GraphError(f"radius must be >= 0, got {radius}")
+    universe = list(vertices) if vertices is not None else list(graph.vertices())
+    todo = order if order is not None else universe
+    universe_set = set(universe)
+    centers: list[int] = []
+    assignment: dict[int, int] = {}
+    center_distance: dict[int, float] = {}
+    for u in todo:
+        if u in assignment:
+            continue
+        if u not in universe_set:
+            raise GraphError(f"order contains vertex {u} outside the universe")
+        centers.append(u)
+        for v, d in dijkstra(graph, u, cutoff=radius).items():
+            if v in universe_set and v not in assignment:
+                assignment[v] = u
+                center_distance[v] = d
+    missing = universe_set - assignment.keys()
+    if missing:  # pragma: no cover - defensive; cannot happen (u covers itself)
+        raise GraphError(f"vertices never covered: {sorted(missing)[:5]} ...")
+    return _finalize(radius, centers, assignment, center_distance)
+
+
+def cover_from_centers(
+    graph: Graph,
+    radius: float,
+    centers: Iterable[int],
+    *,
+    vertices: Iterable[int] | None = None,
+) -> ClusterCover:
+    """Cover with externally chosen centers (distributed MIS path).
+
+    Every non-center vertex attaches to the **highest-id** center within
+    shortest-path distance ``radius`` (mirroring Section 3.2.1: "each node
+    v attaches itself to the neighbor in I with the highest identifier").
+
+    Raises
+    ------
+    GraphError
+        If some vertex has no center within ``radius`` -- i.e. ``centers``
+        is not a dominating set of the proximity graph, meaning the MIS
+        that produced it was not maximal.
+    """
+    if radius < 0.0:
+        raise GraphError(f"radius must be >= 0, got {radius}")
+    universe = set(vertices) if vertices is not None else set(graph.vertices())
+    center_list = sorted(set(centers))
+    if not set(center_list) <= universe:
+        raise GraphError("centers must lie inside the covered universe")
+    assignment: dict[int, int] = {}
+    center_distance: dict[int, float] = {}
+    # Highest-id preference: process centers in increasing id order and let
+    # later (higher) centers overwrite.
+    for c in center_list:
+        for v, d in dijkstra(graph, c, cutoff=radius).items():
+            if v in universe:
+                assignment[v] = c
+                center_distance[v] = d
+    for c in center_list:  # centers always belong to their own cluster
+        assignment[c] = c
+        center_distance[c] = 0.0
+    missing = universe - assignment.keys()
+    if missing:
+        raise GraphError(
+            f"{len(missing)} vertices beyond radius {radius} of every center "
+            f"(e.g. {sorted(missing)[:5]}); centers do not dominate"
+        )
+    return _finalize(radius, list(center_list), assignment, center_distance)

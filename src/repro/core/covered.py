@@ -1,0 +1,114 @@
+"""Covered-edge filtering via the Czumaj--Zhao lemma (Section 2.2.2).
+
+An edge ``{u, v}`` of bin ``E_i`` is *covered* when some witness ``z``
+satisfies (or the symmetric condition with ``u`` and ``v`` swapped):
+
+* ``{u, z}`` is already a spanner edge (so ``|uz| <= |uv|`` is also
+  required -- Lemma 3's precondition; for edges added in phases
+  ``1..i-1`` it is automatic since their length is at most ``W_{i-1}``,
+  but phase-0 clique edges can be longer, so we check explicitly);
+* ``|vz| <= alpha`` (so ``{v, z}`` is guaranteed to be a network edge);
+* ``angle(v, u, z) <= theta`` where ``theta`` satisfies
+  ``0 < theta < pi/4`` and ``t >= 1/(cos(theta) - sin(theta))``.
+
+Lemma 3 then promises that ``{u, z}`` followed by a t-spanner path from
+``z`` to ``v`` is a t-spanner path from ``u`` to ``v``, so covered edges
+never need to be queried.  The angle is computed purely from pairwise
+distances (law of cosines) -- the algorithm never touches coordinates,
+honouring Section 1.1.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..exceptions import GraphError
+from ..geometry.angles import angle_from_sides
+from ..graphs.graph import Graph
+
+__all__ = ["DistanceOracle", "is_covered", "split_covered"]
+
+#: Callable giving the Euclidean distance between two vertex ids.
+DistanceOracle = Callable[[int, int], float]
+
+
+def _has_witness(
+    u: int,
+    v: int,
+    length: float,
+    spanner: Graph,
+    dist: DistanceOracle,
+    alpha: float,
+    theta: float,
+) -> bool:
+    """Witness search for the (u -> v) orientation of the covered test."""
+    for z, _ in spanner.neighbor_items(u):
+        if z == v:
+            continue
+        uz = dist(u, z)
+        if uz > length or uz <= 0.0:
+            continue  # Lemma 3 needs |uz| <= |uv|
+        vz = dist(v, z)
+        if vz > alpha:
+            continue  # {v, z} must be a guaranteed network edge
+        if angle_from_sides(vz, length, uz) <= theta:
+            return True
+    return False
+
+
+def is_covered(
+    u: int,
+    v: int,
+    length: float,
+    spanner: Graph,
+    dist: DistanceOracle,
+    *,
+    alpha: float,
+    theta: float,
+) -> bool:
+    """Whether edge ``{u, v}`` (of Euclidean length ``length``) is covered.
+
+    Parameters
+    ----------
+    u, v:
+        Edge endpoints.
+    length:
+        Euclidean length ``|uv|``; must be positive.
+    spanner:
+        The partial spanner ``G'_{i-1}`` whose edges act as witnesses.
+    dist:
+        Euclidean distance oracle over vertex ids.
+    alpha:
+        Quasi-UBG parameter (witness leg must satisfy ``|vz| <= alpha``).
+    theta:
+        Cone half-angle; caller is responsible for Lemma 3's constraint
+        (use :class:`repro.params.SpannerParams`).
+    """
+    if length <= 0.0:
+        raise GraphError(f"edge length must be positive, got {length}")
+    return _has_witness(u, v, length, spanner, dist, alpha, theta) or _has_witness(
+        v, u, length, spanner, dist, alpha, theta
+    )
+
+
+def split_covered(
+    edges: list[tuple[int, int, float]],
+    spanner: Graph,
+    dist: DistanceOracle,
+    *,
+    alpha: float,
+    theta: float,
+) -> tuple[list[tuple[int, int, float]], list[tuple[int, int, float]]]:
+    """Partition bin edges into (candidates, covered).
+
+    Candidates are the edges that survive the covered-edge filter and move
+    on to per-cluster-pair query selection.
+    """
+    candidates: list[tuple[int, int, float]] = []
+    covered: list[tuple[int, int, float]] = []
+    for u, v, w in edges:
+        if is_covered(u, v, w, spanner, dist, alpha=alpha, theta=theta):
+            covered.append((u, v, w))
+        else:
+            candidates.append((u, v, w))
+    return candidates, covered

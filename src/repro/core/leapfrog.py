@@ -1,0 +1,209 @@
+"""The leapfrog property (Section 2.3, inequality (6)).
+
+A set ``F`` of line segments has the ``(t2, t)``-leapfrog property if for
+every subset ``S = {{u1,v1}, ..., {us,vs}}`` of ``F``::
+
+    t2*|u1 v1| < sum_{i>=2} |ui vi| + t*( sum_{i<s} |vi u_{i+1}| + |vs u1| )
+
+i.e. any cycle of segments and connecting hops that could replace
+``{u1, v1}`` is more than ``t2`` times longer than the segment itself.
+Das and Narasimhan proved (Lemma 12) that leapfrog families have weight
+``O(w(MST))`` -- this is the engine of Theorem 13's lightness bound.
+
+Checking the property exactly is exponential; the F12 experiment samples
+subsets and, per subset, brute-forces every ordering and orientation, so a
+reported violation is always a genuine certificate.  Theorem 13 partitions
+the spanner's edges into ``O(1)`` length classes ``F_0, F_1, ...`` (``F_0``
+holds edges up to ``alpha``, class ``j`` holds lengths in
+``(alpha*beta^{j-1}, alpha*beta^j]``) and proves leapfrog per class;
+:func:`partition_by_length` reproduces that bucketing.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from itertools import permutations
+
+import numpy as np
+
+from ..exceptions import GraphError
+from .covered import DistanceOracle
+
+__all__ = [
+    "LeapfrogReport",
+    "leapfrog_holds_for_sequence",
+    "check_subset",
+    "partition_by_length",
+    "sample_leapfrog",
+]
+
+Edge = tuple[int, int, float]
+
+
+@dataclass(frozen=True)
+class LeapfrogReport:
+    """Outcome of a sampled leapfrog audit.
+
+    Attributes
+    ----------
+    holds:
+        ``True`` iff no sampled subset violated inequality (6).
+    num_subsets:
+        Subsets examined.
+    num_sequences:
+        Total (ordering, orientation) arrangements evaluated.
+    violation:
+        A violating arrangement, as a list of oriented edges, or ``None``.
+    min_slack:
+        Minimum of ``RHS - t2*|u1v1|`` over all arrangements -- how close
+        the family came to violating the property.
+    """
+
+    holds: bool
+    num_subsets: int
+    num_sequences: int
+    violation: list[tuple[int, int]] | None
+    min_slack: float
+
+
+def leapfrog_holds_for_sequence(
+    sequence: list[tuple[int, int]],
+    lengths: list[float],
+    dist: DistanceOracle,
+    t2: float,
+    t: float,
+) -> float:
+    """Slack ``RHS - t2*|u1v1|`` of inequality (6) for one arrangement.
+
+    ``sequence`` lists oriented edges ``(u_i, v_i)`` in order; positive
+    slack means the inequality holds strictly for this arrangement.
+    """
+    if len(sequence) != len(lengths) or not sequence:
+        raise GraphError("sequence and lengths must align and be non-empty")
+    rhs = sum(lengths[1:])
+    hops = 0.0
+    for i in range(len(sequence) - 1):
+        hops += dist(sequence[i][1], sequence[i + 1][0])
+    hops += dist(sequence[-1][1], sequence[0][0])
+    rhs += t * hops
+    return rhs - t2 * lengths[0]
+
+
+def check_subset(
+    subset: list[Edge],
+    dist: DistanceOracle,
+    t2: float,
+    t: float,
+) -> tuple[float, list[tuple[int, int]] | None, int]:
+    """Brute-force all arrangements of ``subset``.
+
+    Returns ``(min_slack, violating_sequence_or_None, count)``.  Only
+    arrangements whose first segment is a longest one are checked: for a
+    fixed subset the inequality is hardest (and in Theorem 13's proof only
+    needed) when ``{u1, v1}`` maximizes ``|u1 v1|``.
+    """
+    if not 1.0 <= t2 <= t:
+        raise GraphError(f"need 1 <= t2 <= t; got t2={t2}, t={t}")
+    max_len = max(w for _, _, w in subset)
+    min_slack = math.inf
+    witness: list[tuple[int, int]] | None = None
+    count = 0
+    indices = range(len(subset))
+    for order in permutations(indices):
+        if subset[order[0]][2] < max_len:
+            continue
+        for mask in range(1 << len(subset)):
+            seq = []
+            lens = []
+            for pos, idx in enumerate(order):
+                u, v, w = subset[idx]
+                if mask >> pos & 1:
+                    u, v = v, u
+                seq.append((u, v))
+                lens.append(w)
+            slack = leapfrog_holds_for_sequence(seq, lens, dist, t2, t)
+            count += 1
+            if slack < min_slack:
+                min_slack = slack
+                if slack <= 0.0:
+                    witness = list(seq)
+    return min_slack, witness, count
+
+
+def partition_by_length(
+    edges: list[Edge], alpha: float, beta: float
+) -> dict[int, list[Edge]]:
+    """Theorem 13's length classes ``F_0, F_1, ... F_l``.
+
+    ``F_0`` holds edges of length at most ``alpha``; class ``j >= 1``
+    holds lengths in ``(alpha*beta^{j-1}, alpha*beta^j]``.
+    """
+    if not 0.0 < alpha <= 1.0:
+        raise GraphError(f"alpha must be in (0, 1], got {alpha}")
+    if beta <= 1.0:
+        raise GraphError(f"beta must be > 1, got {beta}")
+    out: dict[int, list[Edge]] = {}
+    for u, v, w in edges:
+        if w <= alpha:
+            j = 0
+        else:
+            j = max(1, math.ceil(math.log(w / alpha) / math.log(beta)))
+            while alpha * beta ** (j - 1) >= w:
+                j -= 1
+            while alpha * beta**j < w:
+                j += 1
+        out.setdefault(j, []).append((u, v, w))
+    return out
+
+
+def sample_leapfrog(
+    edges: list[Edge],
+    dist: DistanceOracle,
+    t2: float,
+    t: float,
+    *,
+    alpha: float,
+    beta: float,
+    max_subset_size: int = 4,
+    num_samples: int = 200,
+    seed: int | None = 0,
+) -> LeapfrogReport:
+    """Randomized audit of the ``(t2, t)``-leapfrog property.
+
+    Samples ``num_samples`` subsets (sizes 2..``max_subset_size``) inside
+    each Theorem 13 length class and brute-forces each subset.  Sampling
+    is biased towards *nearby* edges (subsets seeded from one edge plus
+    its nearest peers by endpoint distance), where violations would live.
+    """
+    rng = np.random.default_rng(seed)
+    classes = partition_by_length(edges, alpha, beta)
+    num_subsets = 0
+    num_sequences = 0
+    min_slack = math.inf
+    witness: list[tuple[int, int]] | None = None
+    for members in classes.values():
+        if len(members) < 2:
+            continue
+        for _ in range(max(1, num_samples // max(1, len(classes)))):
+            size = int(rng.integers(2, max_subset_size + 1))
+            size = min(size, len(members))
+            anchor = members[int(rng.integers(len(members)))]
+            ranked = sorted(
+                (e for e in members if e != anchor),
+                key=lambda e: dist(anchor[0], e[0]),
+            )
+            subset = [anchor] + ranked[: size - 1]
+            slack, bad, count = check_subset(subset, dist, t2, t)
+            num_subsets += 1
+            num_sequences += count
+            if slack < min_slack:
+                min_slack = slack
+                witness = bad
+    return LeapfrogReport(
+        holds=witness is None,
+        num_subsets=num_subsets,
+        num_sequences=num_sequences,
+        violation=witness,
+        min_slack=min_slack if num_subsets else math.inf,
+    )

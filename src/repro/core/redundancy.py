@@ -1,0 +1,191 @@
+"""Mutually-redundant edge elimination (Section 2.2.5).
+
+Because all queries of a phase are answered against the *frozen* cluster
+graph ``H_{i-1}``, two edges added in the same phase can each certify the
+other's t-spanner path.  Edges ``{u, v}`` and ``{u', v'}`` are *mutually
+redundant* when both
+
+* ``sp_H(u, u') + |u'v'| + sp_H(v', v) <= t1 * |uv|`` and
+* ``sp_H(u', u) + |uv| + sp_H(v, v') <= t1 * |u'v'|``
+
+hold (or both hold under the opposite endpoint pairing -- the metric
+``d_J`` of Lemma 20 takes the minimum over the two pairings, and we follow
+that).  The weight proof (Theorem 13) *requires* that no mutually
+redundant pair survives, so the algorithm builds a conflict graph ``J``
+with one node per implicated edge, one ``J``-edge per redundant pair,
+computes an MIS ``I`` of ``J`` and deletes every implicated edge outside
+``I``.  Every deleted edge keeps a surviving counterpart (MIS maximality),
+preserving Theorem 10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from ..exceptions import GraphError
+from ..graphs.graph import Graph
+from .cluster_graph import ClusterGraph
+
+__all__ = [
+    "RedundancyOutcome",
+    "greedy_mis",
+    "find_redundant_pairs",
+    "build_conflict_graph",
+    "remove_redundant_edges",
+]
+
+Edge = tuple[int, int, float]
+EdgeKey = tuple[int, int]
+
+#: An MIS routine over an adjacency mapping ``node -> set of neighbors``.
+MISFunction = Callable[[dict[EdgeKey, set[EdgeKey]]], set[EdgeKey]]
+
+
+@dataclass(frozen=True)
+class RedundancyOutcome:
+    """Result of one phase's redundancy elimination.
+
+    Attributes
+    ----------
+    removed:
+        Edges deleted from the phase's additions.
+    kept:
+        Edges retained (MIS members and unimplicated edges).
+    num_pairs:
+        Number of mutually redundant pairs found.
+    conflict_graph:
+        Adjacency of the conflict graph ``J`` (edge-keys as nodes).
+    """
+
+    removed: tuple[Edge, ...]
+    kept: tuple[Edge, ...]
+    num_pairs: int
+    conflict_graph: dict[EdgeKey, set[EdgeKey]]
+
+
+def greedy_mis(adjacency: dict[EdgeKey, set[EdgeKey]]) -> set[EdgeKey]:
+    """Sequential greedy MIS by node id (reference MIS implementation).
+
+    Scans nodes in sorted order, taking a node iff none of its neighbors
+    was taken.  Output is maximal and independent; the distributed
+    algorithm substitutes a protocol-based MIS with the same contract.
+    """
+    chosen: set[EdgeKey] = set()
+    for node in sorted(adjacency):
+        if not adjacency[node] & chosen:
+            chosen.add(node)
+    return chosen
+
+
+def _edge_key(edge: Edge) -> EdgeKey:
+    u, v, _ = edge
+    return (u, v) if u < v else (v, u)
+
+
+def _mutually_redundant(
+    e1: Edge,
+    e2: Edge,
+    h_dist: Callable[[int, int], float],
+    t1: float,
+) -> bool:
+    """Check both endpoint pairings of the Section 2.2.5 conditions."""
+    u, v, w1 = e1
+    x, y, w2 = e2
+    for p, q in (((u, x), (v, y)), ((u, y), (v, x))):
+        s1 = h_dist(*p)
+        s2 = h_dist(*q)
+        if s1 + w2 + s2 <= t1 * w1 and s1 + w1 + s2 <= t1 * w2:
+            return True
+    return False
+
+
+def find_redundant_pairs(
+    added: list[Edge],
+    cluster_graph: ClusterGraph,
+    t1: float,
+    *,
+    w_cur: float,
+) -> list[tuple[Edge, Edge]]:
+    """All mutually redundant pairs among this phase's added edges.
+
+    Parameters
+    ----------
+    added:
+        Edges added in the current phase (all lengths in
+        ``(W_{i-1}, W_i]``).
+    cluster_graph:
+        The frozen ``H_{i-1}`` used for the phase's queries.
+    t1:
+        Redundancy stretch, ``1 < t1 < t``.
+    w_cur:
+        Current bin boundary ``W_i``; redundancy conditions can only hold
+        when ``sp_H`` terms are at most ``t1 * W_i``, so Dijkstra runs are
+        cut off there.
+    """
+    if t1 <= 1.0:
+        raise GraphError(f"t1 must be > 1, got {t1}")
+    if not added:
+        return []
+    cutoff = t1 * w_cur
+    endpoints = sorted({p for u, v, _ in added for p in (u, v)})
+    rows = {
+        p: cluster_graph.distances_from(p, cutoff=cutoff) for p in endpoints
+    }
+
+    def h_dist(a: int, b: int) -> float:
+        return rows[a].get(b, float("inf"))
+
+    pairs: list[tuple[Edge, Edge]] = []
+    for i, e1 in enumerate(added):
+        for e2 in added[i + 1 :]:
+            if _mutually_redundant(e1, e2, h_dist, t1):
+                pairs.append((e1, e2))
+    return pairs
+
+
+def build_conflict_graph(
+    pairs: Iterable[tuple[Edge, Edge]],
+) -> dict[EdgeKey, set[EdgeKey]]:
+    """Conflict graph ``J``: nodes are implicated edges, arcs are pairs."""
+    adjacency: dict[EdgeKey, set[EdgeKey]] = {}
+    for e1, e2 in pairs:
+        k1, k2 = _edge_key(e1), _edge_key(e2)
+        adjacency.setdefault(k1, set()).add(k2)
+        adjacency.setdefault(k2, set()).add(k1)
+    return adjacency
+
+
+def remove_redundant_edges(
+    spanner: Graph,
+    added: list[Edge],
+    cluster_graph: ClusterGraph,
+    t1: float,
+    *,
+    w_cur: float,
+    mis: MISFunction = greedy_mis,
+) -> RedundancyOutcome:
+    """Delete a maximal independent set's complement from ``J``.
+
+    Mutates ``spanner`` (removing the chosen edges) and reports the
+    outcome.  ``mis`` may be replaced by a distributed MIS with the same
+    contract.
+    """
+    pairs = find_redundant_pairs(added, cluster_graph, t1, w_cur=w_cur)
+    adjacency = build_conflict_graph(pairs)
+    keep_keys = mis(adjacency) if adjacency else set()
+    removed: list[Edge] = []
+    kept: list[Edge] = []
+    for edge in added:
+        key = _edge_key(edge)
+        if key in adjacency and key not in keep_keys:
+            spanner.remove_edge(edge[0], edge[1])
+            removed.append(edge)
+        else:
+            kept.append(edge)
+    return RedundancyOutcome(
+        removed=tuple(removed),
+        kept=tuple(kept),
+        num_pairs=len(pairs),
+        conflict_graph=adjacency,
+    )

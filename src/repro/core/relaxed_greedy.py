@@ -1,0 +1,359 @@
+"""The sequential relaxed greedy spanner algorithm (Section 2).
+
+This is the paper's central construction.  It runs in ``m + 1`` phases
+over the edge bins of :class:`repro.core.bins.EdgeBinning`:
+
+* **phase 0** (Section 2.1): connected components of the short-edge graph
+  are cliques (Lemma 1); each gets a ``SEQ-GREEDY`` t-spanner;
+* **phase i >= 1** (Section 2.2), five steps:
+
+  1. cluster cover of the partial spanner ``G'_{i-1}`` with radius
+     ``delta * W_{i-1}``;
+  2. covered-edge filtering (Czumaj--Zhao) and query-edge selection --
+     one query edge per cluster pair, minimizing equation (1);
+  3. cluster graph ``H_{i-1}`` (Das--Narasimhan);
+  4. shortest-path queries on ``H_{i-1}``: the query edge joins the
+     spanner iff no path of length ``t * |xy|`` exists in ``H_{i-1}``;
+  5. removal of mutually redundant edges via an MIS of the conflict
+     graph.
+
+The output satisfies Theorems 10/11/13: stretch ``t``, constant maximum
+degree, and weight ``O(w(MST))``.
+
+Empty bins are skipped outright (their phases would do no work); phase
+statistics record both scheduled and executed phases so the distributed
+round accounting can reflect either convention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..exceptions import GraphError
+from ..graphs.graph import Graph
+from ..params import SpannerParams
+from .bins import EdgeBinning
+from .cluster_graph import ClusterGraph, build_cluster_graph
+from .cover import ClusterCover, build_cluster_cover
+from .covered import DistanceOracle, split_covered
+from .redundancy import MISFunction, greedy_mis, remove_redundant_edges
+from .selection import select_query_edges
+from .short_edges import process_short_edges
+
+__all__ = ["PhaseReport", "SpannerResult", "RelaxedGreedySpanner", "build_spanner"]
+
+
+@dataclass(frozen=True)
+class PhaseReport:
+    """Statistics of one executed phase.
+
+    Attributes
+    ----------
+    index:
+        Bin index ``i`` (0 for the short-edge phase).
+    w_prev / w_cur:
+        Bin boundaries ``W_{i-1}`` and ``W_i`` (0 for phase 0).
+    num_bin_edges:
+        ``|E_i|``.
+    num_covered / num_candidates:
+        Covered-edge filter outcome.
+    num_clusters:
+        Clusters in the phase's cover.
+    num_queries:
+        Query edges selected (one per cluster pair).
+    max_queries_per_cluster:
+        Lemma 4's measured quantity.
+    num_added / num_removed:
+        Edges added by queries and removed as redundant.
+    num_intra_edges / num_inter_edges:
+        Cluster graph composition (Lemma 6's measured quantity is the
+        inter-cluster center degree, reported separately).
+    inter_center_degree:
+        Maximum inter-cluster degree of a center in ``H_{i-1}``.
+    """
+
+    index: int
+    w_prev: float
+    w_cur: float
+    num_bin_edges: int
+    num_covered: int = 0
+    num_candidates: int = 0
+    num_clusters: int = 0
+    num_queries: int = 0
+    max_queries_per_cluster: int = 0
+    num_added: int = 0
+    num_removed: int = 0
+    num_intra_edges: int = 0
+    num_inter_edges: int = 0
+    inter_center_degree: int = 0
+
+
+@dataclass
+class SpannerResult:
+    """Output of a relaxed greedy construction.
+
+    Attributes
+    ----------
+    spanner:
+        The final spanner ``G'``.
+    params:
+        Parameter bundle the run used.
+    phases:
+        Per-executed-phase statistics, in order.
+    num_bins:
+        Total number of bins ``m`` (scheduled phases is ``m + 1``).
+    """
+
+    spanner: Graph
+    params: SpannerParams
+    phases: list[PhaseReport] = field(default_factory=list)
+    num_bins: int = 0
+
+    @property
+    def executed_phases(self) -> int:
+        """Number of phases that had edges to process."""
+        return len(self.phases)
+
+    @property
+    def total_added(self) -> int:
+        """Edges ever added (before redundancy removal)."""
+        return sum(p.num_added for p in self.phases)
+
+    @property
+    def total_removed(self) -> int:
+        """Edges removed as redundant."""
+        return sum(p.num_removed for p in self.phases)
+
+    def phase_table(self, *, max_rows: int = 20) -> str:
+        """Fixed-width table of per-phase statistics (debugging aid).
+
+        Shows up to ``max_rows`` of the executed phases, preferring the
+        busiest ones (by bin size), in phase order.
+        """
+        if not self.phases:
+            return "(no executed phases)"
+        shown = sorted(
+            sorted(self.phases, key=lambda p: -p.num_bin_edges)[:max_rows],
+            key=lambda p: p.index,
+        )
+        header = (
+            f"{'phase':>5} {'W_prev':>9} {'edges':>6} {'cover':>6} "
+            f"{'cand':>5} {'clus':>5} {'query':>5} {'add':>4} {'rm':>3}"
+        )
+        lines = [header, "-" * len(header)]
+        for p in shown:
+            lines.append(
+                f"{p.index:>5} {p.w_prev:>9.3g} {p.num_bin_edges:>6} "
+                f"{p.num_covered:>6} {p.num_candidates:>5} "
+                f"{p.num_clusters:>5} {p.num_queries:>5} "
+                f"{p.num_added:>4} {p.num_removed:>3}"
+            )
+        if len(self.phases) > max_rows:
+            lines.append(
+                f"... ({len(self.phases) - max_rows} more phases elided)"
+            )
+        return "\n".join(lines)
+
+
+class RelaxedGreedySpanner:
+    """Configured builder for relaxed greedy spanners.
+
+    Parameters
+    ----------
+    params:
+        Validated parameter bundle (see
+        :meth:`repro.params.SpannerParams.from_epsilon`).
+    mis:
+        MIS routine for redundancy elimination; the default is the
+        sequential greedy MIS, the distributed algorithm passes its
+        protocol-backed MIS.
+    check_clique:
+        Forwarded to phase 0's Lemma 1 validation.
+    use_covered_filter:
+        Ablation/extension switch.  When false, the Czumaj--Zhao
+        covered-edge filter (Section 2.2.2) is skipped and every bin edge
+        is a candidate.  Theorem 10's stretch proof survives (the filter
+        only prunes work), but Theorem 11's degree proof needs it -- the
+        A1 ablation measures the effect, and the doubling-metric
+        extension (paper Section 4, future work) relies on this switch
+        because the filter is the one angle-based (hence
+        Euclidean-specific) component.
+    use_redundancy_removal:
+        Ablation switch for step (v).  When false, mutually redundant
+        edges are kept; Theorem 13's weight proof requires their removal
+        -- the A2 ablation quantifies the cost of skipping it.
+
+    Notes
+    -----
+    The builder is stateless across :meth:`build` calls and therefore
+    reusable and thread-safe for concurrent builds on different graphs.
+    """
+
+    def __init__(
+        self,
+        params: SpannerParams,
+        *,
+        mis: MISFunction = greedy_mis,
+        check_clique: bool = True,
+        use_covered_filter: bool = True,
+        use_redundancy_removal: bool = True,
+    ) -> None:
+        self.params = params
+        self._mis = mis
+        self._check_clique = check_clique
+        self._use_covered_filter = use_covered_filter
+        self._use_redundancy = use_redundancy_removal
+
+    # ------------------------------------------------------------------
+    def build(self, graph: Graph, dist: DistanceOracle) -> SpannerResult:
+        """Build a ``(1 + epsilon)``-spanner of ``graph``.
+
+        Parameters
+        ----------
+        graph:
+            The input alpha-UBG.  Edge weights must equal the Euclidean
+            distance reported by ``dist`` for the same pair (the energy
+            extension wraps this builder rather than changing weights;
+            see :mod:`repro.extensions.energy`).
+        dist:
+            Euclidean distance oracle ``(u, v) -> |uv|`` defined for all
+            vertex pairs (Section 1.1's "pairwise distances" knowledge).
+
+        Returns
+        -------
+        SpannerResult
+            Final spanner plus per-phase statistics.
+        """
+        params = self.params
+        n = graph.num_vertices
+        if n == 0:
+            return SpannerResult(Graph(0), params)
+        max_len = graph.max_edge_weight()
+        if max_len > 1.0 + 1e-9:
+            raise GraphError(
+                f"alpha-UBG edges must have length <= 1, found {max_len:.6g}; "
+                "rescale the instance"
+            )
+        binning = EdgeBinning.for_params(params, n)
+        bins = binning.assign(graph.edges())
+        result = SpannerResult(
+            Graph(n), params, num_bins=binning.num_bins
+        )
+
+        # ---- phase 0 ------------------------------------------------
+        short = bins.pop(0, [])
+        outcome = process_short_edges(
+            graph, short, dist, params.t, check_clique=self._check_clique
+        )
+        spanner = outcome.spanner
+        if short:
+            result.phases.append(
+                PhaseReport(
+                    index=0,
+                    w_prev=0.0,
+                    w_cur=binning.boundary(0),
+                    num_bin_edges=len(short),
+                    num_added=spanner.num_edges,
+                )
+            )
+
+        # ---- phases 1..m --------------------------------------------
+        for i in sorted(bins):
+            report = self._run_phase(
+                spanner, bins[i], i, binning, dist
+            )
+            result.phases.append(report)
+
+        result.spanner = spanner
+        return result
+
+    # ------------------------------------------------------------------
+    def _run_phase(
+        self,
+        spanner: Graph,
+        bin_edges: list[tuple[int, int, float]],
+        index: int,
+        binning: EdgeBinning,
+        dist: DistanceOracle,
+    ) -> PhaseReport:
+        """Execute the five steps of one long-edge phase, mutating
+        ``spanner`` in place."""
+        params = self.params
+        w_prev = binning.boundary(index - 1)
+        w_cur = binning.boundary(index)
+
+        # Step (i): cluster cover of G'_{i-1}.
+        cover: ClusterCover = build_cluster_cover(
+            spanner, params.delta * w_prev
+        )
+
+        # Step (ii): covered-edge filter + query selection.
+        if self._use_covered_filter:
+            candidates, covered = split_covered(
+                bin_edges, spanner, dist,
+                alpha=params.alpha, theta=params.theta,
+            )
+        else:
+            candidates, covered = list(bin_edges), []
+        selection = select_query_edges(candidates, cover, params.t)
+
+        # Step (iii): cluster graph H_{i-1}.
+        cluster_graph: ClusterGraph = build_cluster_graph(
+            spanner, cover, w_prev, params.delta
+        )
+
+        # Step (iv): shortest-path queries on H.
+        added: list[tuple[int, int, float]] = []
+        for x, y, length in selection.edges():
+            threshold = params.t * length
+            if cluster_graph.distance(x, y, cutoff=threshold) > threshold:
+                spanner.add_edge(x, y, length)
+                added.append((x, y, length))
+
+        # Step (v): redundancy elimination.
+        if self._use_redundancy:
+            outcome = remove_redundant_edges(
+                spanner,
+                added,
+                cluster_graph,
+                params.t1,
+                w_cur=w_cur,
+                mis=self._mis,
+            )
+            num_removed = len(outcome.removed)
+        else:
+            num_removed = 0
+
+        return PhaseReport(
+            index=index,
+            w_prev=w_prev,
+            w_cur=w_cur,
+            num_bin_edges=len(bin_edges),
+            num_covered=len(covered),
+            num_candidates=len(candidates),
+            num_clusters=cover.num_clusters,
+            num_queries=len(selection.queries),
+            max_queries_per_cluster=selection.max_queries_per_cluster,
+            num_added=len(added),
+            num_removed=num_removed,
+            num_intra_edges=cluster_graph.num_intra_edges,
+            num_inter_edges=cluster_graph.num_inter_edges,
+            inter_center_degree=cluster_graph.inter_center_degree(),
+        )
+
+
+def build_spanner(
+    graph: Graph,
+    dist: DistanceOracle,
+    epsilon: float,
+    *,
+    alpha: float = 1.0,
+    dim: int = 2,
+) -> SpannerResult:
+    """One-call convenience wrapper: derive parameters and build.
+
+    Equivalent to ``RelaxedGreedySpanner(SpannerParams.from_epsilon(...))
+    .build(graph, dist)``.
+    """
+    params = SpannerParams.from_epsilon(epsilon, alpha=alpha, dim=dim)
+    return RelaxedGreedySpanner(params).build(graph, dist)

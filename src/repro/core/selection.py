@@ -1,0 +1,112 @@
+"""Query-edge selection (Section 2.2.2, equation (1)).
+
+Every candidate edge of bin ``E_i`` has its endpoints in *different*
+clusters (the cover radius ``delta*W_{i-1}`` is smaller than every edge in
+the bin).  For each unordered cluster pair ``(C_a, C_b)`` exactly one
+query edge is selected from ``E_i[C_a, C_b]``: the edge ``{x, y}``
+(``x in C_a``, ``y in C_b``) minimizing
+
+    ``t*|xy| - sp_{G'}(a, x) - sp_{G'}(b, y)``        (1)
+
+If the selected edge ends up with a t-spanner path, inequality chains in
+Theorem 10's proof guarantee t-spanner paths for every other edge of the
+pair, so one query per cluster pair suffices.  Lemma 4 bounds the number
+of selected edges incident on any cluster by a constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import GraphError
+from .cover import ClusterCover
+
+__all__ = ["QuerySelection", "select_query_edges"]
+
+
+@dataclass(frozen=True)
+class QuerySelection:
+    """Outcome of query-edge selection for one phase.
+
+    Attributes
+    ----------
+    queries:
+        ``(a, b) -> (x, y, length)`` with ``a < b`` cluster centers,
+        ``x in C_a``, ``y in C_b``: the unique query edge per cluster pair.
+    num_candidates:
+        Candidate edges examined.
+    max_queries_per_cluster:
+        Largest number of selected query edges touching one cluster --
+        the quantity Lemma 4 bounds by ``O(t^d ((4*delta + r)/delta)^d)``.
+    """
+
+    queries: dict[tuple[int, int], tuple[int, int, float]]
+    num_candidates: int
+    max_queries_per_cluster: int
+
+    def edges(self) -> list[tuple[int, int, float]]:
+        """The selected query edges in deterministic order."""
+        return [self.queries[key] for key in sorted(self.queries)]
+
+
+def select_query_edges(
+    candidates: list[tuple[int, int, float]],
+    cover: ClusterCover,
+    t: float,
+) -> QuerySelection:
+    """Pick the minimizer of equation (1) for each cluster pair.
+
+    Parameters
+    ----------
+    candidates:
+        Candidate (non-covered) edges ``(u, v, length)`` of the current
+        bin.
+    cover:
+        The phase's cluster cover; every candidate endpoint must be
+        covered, and no candidate may have both endpoints in one cluster.
+    t:
+        Stretch parameter of equation (1).
+
+    Raises
+    ------
+    GraphError
+        If a candidate has both endpoints in the same cluster, which
+        would mean the cover radius does not match the bin (a violation
+        of the ``delta < 1`` invariant from Section 2.2.2).
+    """
+    if t < 1.0:
+        raise GraphError(f"t must be >= 1, got {t}")
+    best: dict[tuple[int, int], tuple[float, int, int, float]] = {}
+    for u, v, length in candidates:
+        a = cover.center_of(u)
+        b = cover.center_of(v)
+        if a == b:
+            raise GraphError(
+                f"candidate edge ({u}, {v}) has both endpoints in cluster "
+                f"{a}; cover radius {cover.radius:.6g} is too large for "
+                f"this bin (edge length {length:.6g})"
+            )
+        # Normalize the pair key and keep (x, y) aligned so x in C_a.
+        if a > b:
+            a, b, u, v = b, a, v, u
+        score = (
+            t * length
+            - cover.distance_to_center(u)
+            - cover.distance_to_center(v)
+        )
+        key = (a, b)
+        incumbent = best.get(key)
+        # Deterministic tie-break on (score, x, y).
+        entry = (score, u, v, length)
+        if incumbent is None or entry < incumbent:
+            best[key] = entry
+    queries = {key: (u, v, w) for key, (_, u, v, w) in best.items()}
+    per_cluster: dict[int, int] = {}
+    for a, b in queries:
+        per_cluster[a] = per_cluster.get(a, 0) + 1
+        per_cluster[b] = per_cluster.get(b, 0) + 1
+    return QuerySelection(
+        queries=queries,
+        num_candidates=len(candidates),
+        max_queries_per_cluster=max(per_cluster.values(), default=0),
+    )

@@ -1,0 +1,49 @@
+"""Distributed substrate: synchronous engine, protocols, and the
+Section 3 distributed relaxed greedy algorithm."""
+
+from .dist_spanner import DistributedRelaxedGreedy, DistributedSpannerResult
+from .engine import NodeContext, Protocol, RunResult, SynchronousNetwork
+from .ledger import LedgerEntry, RoundLedger
+from .local_views import (
+    LocalView,
+    covered_decision_from_view,
+    gather_local_view,
+    local_component_of_short_edges,
+)
+from .mis import MISRun, run_luby_mis, verify_mis
+from .protocols import (
+    BFSTree,
+    ConvergecastSum,
+    KHopGather,
+    LeaderElection,
+    LubyMIS,
+    TreeSixColoring,
+    tree_coloring_to_mis,
+)
+from .protocols.coloring import cv_rounds_needed
+
+__all__ = [
+    "SynchronousNetwork",
+    "Protocol",
+    "NodeContext",
+    "RunResult",
+    "RoundLedger",
+    "LedgerEntry",
+    "KHopGather",
+    "LubyMIS",
+    "TreeSixColoring",
+    "tree_coloring_to_mis",
+    "cv_rounds_needed",
+    "ConvergecastSum",
+    "BFSTree",
+    "LeaderElection",
+    "MISRun",
+    "run_luby_mis",
+    "verify_mis",
+    "DistributedRelaxedGreedy",
+    "DistributedSpannerResult",
+    "LocalView",
+    "gather_local_view",
+    "local_component_of_short_edges",
+    "covered_decision_from_view",
+]

@@ -1,0 +1,211 @@
+"""Synchronous message-passing engine (the paper's Section 1.1 model).
+
+Time proceeds in rounds.  In each round every node reads the messages its
+neighbors sent in the previous round, performs arbitrary local
+computation, and emits at most one message per neighbor.  The engine:
+
+* runs a :class:`Protocol` over a communication topology -- either a
+  weighted :class:`repro.graphs.Graph` (the radio network itself) or a
+  plain adjacency mapping (a *derived* virtual graph such as the conflict
+  graph ``J`` of Sections 3.2.1/3.2.5, whose "edges" are short multi-hop
+  channels in the real network);
+* counts rounds, messages, and payload words;
+* refuses to run past ``max_rounds`` (a protocol that fails to halt is a
+  bug, not a workload).
+
+Protocols keep their per-node state in the :class:`NodeContext` handed to
+them, so a protocol object itself is reusable across runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+from ..exceptions import ProtocolError, SimulationLimitError
+from ..graphs.graph import Graph
+from .messages import payload_words
+
+__all__ = ["NodeContext", "Protocol", "RunResult", "SynchronousNetwork"]
+
+
+@dataclass
+class NodeContext:
+    """Per-node execution context visible to protocol code.
+
+    Attributes
+    ----------
+    node:
+        This node's id.
+    neighbors:
+        Ids reachable in one round (fixed for the run).
+    state:
+        Protocol-owned mutable state bag.
+    halted:
+        Set by the protocol when the node stops participating.  A halted
+        node sends nothing; it still receives (and may be woken by
+        messages in protocols that support it -- ours never need to).
+    """
+
+    node: int
+    neighbors: tuple[int, ...]
+    state: dict[str, Any] = field(default_factory=dict)
+    halted: bool = False
+
+    def halt(self) -> None:
+        """Mark this node as finished."""
+        self.halted = True
+
+
+class Protocol:
+    """Base class for synchronous protocols.
+
+    Subclasses implement :meth:`on_start` and :meth:`on_round`; both
+    return an *outbox* -- a mapping ``neighbor -> payload`` (``{}``/None
+    for silence).  The engine validates that outbox keys are genuine
+    neighbors.
+    """
+
+    name = "protocol"
+
+    def on_start(self, ctx: NodeContext) -> Mapping[int, Any] | None:
+        """Round 0 action: initialize state, optionally speak."""
+        return None
+
+    def on_round(
+        self, ctx: NodeContext, inbox: dict[int, Any]
+    ) -> Mapping[int, Any] | None:
+        """One round: consume ``inbox`` (sender -> payload), reply."""
+        raise NotImplementedError
+
+    def output(self, ctx: NodeContext) -> Any:
+        """Final per-node result extracted after the run."""
+        return None
+
+
+@dataclass
+class RunResult:
+    """Outcome of one protocol execution.
+
+    Attributes
+    ----------
+    rounds:
+        Number of synchronous rounds executed (round 0, the on_start
+        broadcast, counts as a round iff any message was sent in it).
+    messages:
+        Total messages delivered.
+    words:
+        Total payload volume in words (diagnostic).
+    outputs:
+        ``node -> protocol output``.
+    """
+
+    rounds: int
+    messages: int
+    words: int
+    outputs: dict[int, Any]
+
+
+class SynchronousNetwork:
+    """Executes protocols over a fixed communication topology.
+
+    Parameters
+    ----------
+    topology:
+        Either a :class:`Graph` or an adjacency mapping
+        ``node -> iterable of neighbors``.  Nodes without entries are not
+        part of the computation.
+    max_rounds:
+        Hard budget; exceeding it raises :class:`SimulationLimitError`.
+    """
+
+    def __init__(
+        self,
+        topology: Graph | Mapping[int, Iterable[int]],
+        *,
+        max_rounds: int = 10_000,
+    ) -> None:
+        if max_rounds < 1:
+            raise ProtocolError(f"max_rounds must be >= 1, got {max_rounds}")
+        self._max_rounds = max_rounds
+        self._adj: dict[int, tuple[int, ...]] = {}
+        if isinstance(topology, Graph):
+            for u in topology.vertices():
+                self._adj[u] = tuple(sorted(topology.neighbors(u)))
+        else:
+            sym: dict[int, set[int]] = {u: set() for u in topology}
+            for u, nbrs in topology.items():
+                for v in nbrs:
+                    if v == u:
+                        raise ProtocolError(f"self-loop at {u} in topology")
+                    sym.setdefault(u, set()).add(v)
+                    sym.setdefault(v, set()).add(u)
+            self._adj = {u: tuple(sorted(ns)) for u, ns in sym.items()}
+
+    @property
+    def nodes(self) -> list[int]:
+        """Participating node ids, sorted."""
+        return sorted(self._adj)
+
+    def run(self, protocol: Protocol) -> RunResult:
+        """Run ``protocol`` to completion (all nodes halted).
+
+        Rounds in which no node is active are not possible: the engine
+        stops exactly when every node has halted.  A round is counted
+        whenever at least one node computes (even silently), matching the
+        synchronous model where the global clock ticks for everyone.
+        """
+        contexts = {
+            u: NodeContext(node=u, neighbors=self._adj[u]) for u in self._adj
+        }
+        pending: dict[int, dict[int, Any]] = {u: {} for u in self._adj}
+        messages = 0
+        words = 0
+        rounds = 0
+
+        def dispatch(sender: int, outbox: Mapping[int, Any] | None) -> int:
+            nonlocal messages, words
+            if not outbox:
+                return 0
+            allowed = set(self._adj[sender])
+            count = 0
+            for receiver, payload in outbox.items():
+                if receiver not in allowed:
+                    raise ProtocolError(
+                        f"{protocol.name}: node {sender} attempted to message "
+                        f"non-neighbor {receiver}"
+                    )
+                pending[receiver][sender] = payload
+                messages += 1
+                words += payload_words(payload)
+                count += 1
+            return count
+
+        sent_any = False
+        for u in self.nodes:
+            sent_any |= bool(dispatch(u, protocol.on_start(contexts[u])))
+        if sent_any:
+            rounds += 1
+
+        while not all(ctx.halted for ctx in contexts.values()):
+            if rounds >= self._max_rounds:
+                raise SimulationLimitError(
+                    f"{protocol.name}: exceeded {self._max_rounds} rounds "
+                    f"({sum(1 for c in contexts.values() if not c.halted)} "
+                    "nodes still active)"
+                )
+            inboxes = pending
+            pending = {u: {} for u in self._adj}
+            for u in self.nodes:
+                ctx = contexts[u]
+                if ctx.halted:
+                    continue
+                dispatch(u, protocol.on_round(ctx, inboxes[u]))
+            rounds += 1
+
+        return RunResult(
+            rounds=rounds,
+            messages=messages,
+            words=words,
+            outputs={u: protocol.output(contexts[u]) for u in self.nodes},
+        )

@@ -1,0 +1,54 @@
+"""Message envelopes and size accounting for the synchronous model.
+
+The paper's model (Section 1.1) divides time into rounds; per round every
+node may send a different message to each neighbor.  Messages carry
+``O(log n)``-bit payloads in the paper; our engine does not *enforce* that
+bound (the paper's own analysis is purely round-based) but it *measures*
+payload volume in "words" -- a word being one integer/float/atom -- so
+experiments can report communication volume alongside rounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["Envelope", "payload_words"]
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """A message in flight during one synchronous round.
+
+    Attributes
+    ----------
+    sender / receiver:
+        Node ids on the communication graph.
+    payload:
+        Arbitrary (but picklable-shaped) message body.
+    """
+
+    sender: int
+    receiver: int
+    payload: Any
+
+
+def payload_words(payload: Any) -> int:
+    """Approximate size of ``payload`` in machine words.
+
+    Atoms (numbers, booleans, short strings, ``None``) count 1; containers
+    count the sum of their items plus 1 for their own header.  The measure
+    is deliberately simple -- it is a diagnostic, not a protocol
+    constraint.
+    """
+    if payload is None or isinstance(payload, (int, float, bool)):
+        return 1
+    if isinstance(payload, str):
+        return max(1, (len(payload) + 7) // 8)
+    if isinstance(payload, (list, tuple, set, frozenset)):
+        return 1 + sum(payload_words(item) for item in payload)
+    if isinstance(payload, dict):
+        return 1 + sum(
+            payload_words(k) + payload_words(v) for k, v in payload.items()
+        )
+    return 1

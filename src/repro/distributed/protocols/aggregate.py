@@ -1,0 +1,88 @@
+"""Convergecast aggregation over a BFS tree.
+
+A standard substrate protocol: given a rooted spanning tree of the
+communication graph, leaves send their values up; internal nodes combine
+children's partial aggregates with their own value and forward; the root
+ends with the global aggregate.  Used by examples to compute network-wide
+statistics (total power cost, node counts) "in network", and by the test
+suite as a second, structurally different protocol exercising the engine.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping
+
+from ...exceptions import ProtocolError
+from ..engine import NodeContext, Protocol
+
+__all__ = ["ConvergecastSum"]
+
+
+class ConvergecastSum(Protocol):
+    """Aggregate values towards a root along tree edges.
+
+    Parameters
+    ----------
+    parents:
+        ``node -> parent`` mapping defining the tree; the root maps to
+        itself.  Tree edges must exist in the run topology.
+    values:
+        ``node -> initial value``.
+    combine:
+        Associative-commutative combiner (default: ``+``).
+
+    Output: the aggregate at the root; ``None`` elsewhere.
+    """
+
+    name = "convergecast"
+
+    def __init__(
+        self,
+        parents: Mapping[int, int],
+        values: Mapping[int, Any],
+        combine: Callable[[Any, Any], Any] = lambda a, b: a + b,
+    ) -> None:
+        self._parents = dict(parents)
+        self._values = dict(values)
+        self._combine = combine
+
+    def on_start(self, ctx: NodeContext) -> dict[int, Any] | None:
+        parent = self._parents.get(ctx.node, ctx.node)
+        if parent != ctx.node and parent not in ctx.neighbors:
+            raise ProtocolError(
+                f"parent {parent} of node {ctx.node} is not a neighbor"
+            )
+        children = [
+            v for v in ctx.neighbors if self._parents.get(v) == ctx.node
+        ]
+        ctx.state["waiting"] = set(children)
+        ctx.state["acc"] = self._values.get(ctx.node, 0)
+        ctx.state["is_root"] = parent == ctx.node
+        ctx.state["parent"] = parent
+        if not children:  # leaf: speak immediately
+            if ctx.state["is_root"]:
+                ctx.halt()
+                return None
+            ctx.halt()
+            return {parent: ("agg", ctx.state["acc"])}
+        return None
+
+    def on_round(
+        self, ctx: NodeContext, inbox: dict[int, Any]
+    ) -> dict[int, Any] | None:
+        waiting: set[int] = ctx.state["waiting"]
+        for sender, payload in inbox.items():
+            if payload[0] != "agg" or sender not in waiting:
+                continue
+            ctx.state["acc"] = self._combine(ctx.state["acc"], payload[1])
+            waiting.discard(sender)
+        if waiting:
+            return None
+        ctx.halt()
+        if ctx.state["is_root"]:
+            return None
+        return {ctx.state["parent"]: ("agg", ctx.state["acc"])}
+
+    def output(self, ctx: NodeContext) -> Any:
+        """Aggregate at the root, ``None`` elsewhere."""
+        return ctx.state["acc"] if ctx.state["is_root"] else None

@@ -1,0 +1,75 @@
+"""k-hop information gathering by flooding.
+
+The paper's distributed algorithm repeatedly has nodes "gather information
+from at most k hops away" (Sections 3.1--3.2.4).  In the LOCAL model this
+is exactly ``k`` rounds of flooding: every node starts with a set of local
+*facts* (e.g. its incident spanner edges) and forwards newly learned facts
+to all neighbors each round.  After ``k`` rounds a node knows precisely
+the facts originating within its ``k``-hop ball -- the engine-level proof
+of Theorems 14 and 16--19's round counts, and the property our tests
+assert against :func:`repro.graphs.paths.k_hop_neighborhood`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Mapping
+
+from ...exceptions import ProtocolError
+from ..engine import NodeContext, Protocol
+
+__all__ = ["KHopGather"]
+
+
+class KHopGather(Protocol):
+    """Flood each node's initial facts for ``k`` rounds.
+
+    Parameters
+    ----------
+    initial_facts:
+        ``node -> iterable of hashable facts`` owned by that node at
+        round 0.  Facts must be globally unique or idempotent (sets are
+        unioned).
+    k:
+        Hop radius; after the run each node's output is the set of facts
+        originating at nodes within ``k`` hops (including itself).
+    """
+
+    name = "k-hop-gather"
+
+    def __init__(self, initial_facts: Mapping[int, Any], k: int) -> None:
+        if k < 0:
+            raise ProtocolError(f"k must be >= 0, got {k}")
+        self._facts = {
+            node: frozenset(facts) for node, facts in initial_facts.items()
+        }
+        self._k = k
+
+    def on_start(self, ctx: NodeContext) -> dict[int, Any] | None:
+        known: set[Hashable] = set(self._facts.get(ctx.node, frozenset()))
+        ctx.state["known"] = known
+        ctx.state["age"] = 0
+        if self._k == 0:
+            ctx.halt()
+            return None
+        fresh = frozenset(known)
+        return {v: fresh for v in ctx.neighbors} if fresh else {
+            v: frozenset() for v in ctx.neighbors
+        }
+
+    def on_round(
+        self, ctx: NodeContext, inbox: dict[int, Any]
+    ) -> dict[int, Any] | None:
+        known: set[Hashable] = ctx.state["known"]
+        fresh: set[Hashable] = set()
+        for payload in inbox.values():
+            fresh.update(payload - known if isinstance(payload, frozenset) else [])
+            known.update(payload)
+        ctx.state["age"] += 1
+        if ctx.state["age"] >= self._k:
+            ctx.halt()
+            return None
+        return {v: frozenset(fresh) for v in ctx.neighbors}
+
+    def output(self, ctx: NodeContext) -> frozenset:
+        """Facts known to this node after ``k`` rounds."""
+        return frozenset(ctx.state["known"])

@@ -1,0 +1,65 @@
+"""Leader election by maximum-id flooding.
+
+Every node starts believing it is the leader; each round it forwards any
+improvement it hears.  The largest id in a component needs exactly
+``eccentricity(argmax)`` rounds to reach everyone, so the classic
+synchronous termination rule applies: run for a known upper bound on the
+component diameter (``n - 1`` always works) and stop.  Quiet-counting
+heuristics are *not* safe here -- an adversarial id placement can starve
+a node of improvements for arbitrarily many rounds while a bigger id is
+still in flight -- so this protocol takes the bound explicitly.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ...exceptions import ProtocolError
+from ..engine import NodeContext, Protocol
+
+__all__ = ["LeaderElection"]
+
+
+class LeaderElection(Protocol):
+    """Max-id leader election with a fixed round budget.
+
+    Output per node: the largest id within ``rounds`` hops -- the
+    component's maximum whenever ``rounds >= diameter``.
+
+    Parameters
+    ----------
+    rounds:
+        Number of flooding rounds to run; must be at least the diameter
+        of every component for a correct election (``n - 1`` is always
+        sufficient).
+    """
+
+    name = "leader-election"
+
+    def __init__(self, rounds: int) -> None:
+        if rounds < 1:
+            raise ProtocolError(f"rounds must be >= 1, got {rounds}")
+        self._rounds = rounds
+
+    def on_start(self, ctx: NodeContext) -> dict[int, Any] | None:
+        ctx.state["best"] = ctx.node
+        ctx.state["age"] = 0
+        return {v: ctx.node for v in ctx.neighbors}
+
+    def on_round(
+        self, ctx: NodeContext, inbox: dict[int, Any]
+    ) -> dict[int, Any] | None:
+        best_heard = max(inbox.values(), default=-1)
+        improved = best_heard > ctx.state["best"]
+        if improved:
+            ctx.state["best"] = best_heard
+        ctx.state["age"] += 1
+        if ctx.state["age"] >= self._rounds:
+            ctx.halt()
+            return None
+        if improved:
+            return {v: ctx.state["best"] for v in ctx.neighbors}
+        return None
+
+    def output(self, ctx: NodeContext) -> int:
+        return ctx.state["best"]

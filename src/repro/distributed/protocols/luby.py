@@ -1,0 +1,140 @@
+"""Luby's randomized maximal independent set as a message protocol.
+
+The paper invokes the Kuhn--Moscibroda--Wattenhofer ``O(log* n)`` MIS for
+growth-bounded graphs [11] as a black box.  Reimplementing KMW faithfully
+is out of scope (see DESIGN.md, Substitutions); we run Luby's classic
+algorithm instead -- ``O(log n)`` rounds with high probability on *any*
+graph, and only a handful of iterations on the small, growth-bounded
+derived graphs the spanner algorithm actually builds.
+
+Each Luby iteration costs two message rounds:
+
+1. every undecided node draws a random priority and sends it to all
+   undecided neighbors;
+2. a node whose priority is a strict local minimum (ties broken by id)
+   joins the MIS and announces it; neighbors of new MIS members become
+   permanently excluded and announce that.
+
+The protocol is exact: on termination the chosen set is independent and
+maximal (asserted by the test-suite on random graphs).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+from ..engine import NodeContext, Protocol
+
+__all__ = ["LubyMIS"]
+
+_UNDECIDED = "undecided"
+_IN_MIS = "in_mis"
+_OUT = "out"
+
+
+class LubyMIS(Protocol):
+    """Luby's MIS over the run topology.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the per-node pseudo-random priorities (node ids are mixed
+        in, so one seed drives the whole network deterministically).
+
+    Notes
+    -----
+    Output per node is ``True`` iff the node joined the MIS.  Isolated
+    nodes join immediately.
+    """
+
+    name = "luby-mis"
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = seed
+
+    # ------------------------------------------------------------------
+    def _draw(self, node: int, iteration: int) -> float:
+        rng = random.Random(f"{self._seed}:{node}:{iteration}")
+        return rng.random()
+
+    def on_start(self, ctx: NodeContext) -> dict[int, Any] | None:
+        ctx.state["status"] = _UNDECIDED
+        ctx.state["iteration"] = 0
+        ctx.state["phase"] = "propose"
+        ctx.state["active_nbrs"] = set(ctx.neighbors)
+        if not ctx.neighbors:  # isolated: in MIS by definition
+            ctx.state["status"] = _IN_MIS
+            ctx.halt()
+            return None
+        priority = self._draw(ctx.node, 0)
+        ctx.state["priority"] = priority
+        return {v: ("bid", priority) for v in ctx.neighbors}
+
+    # ------------------------------------------------------------------
+    def on_round(
+        self, ctx: NodeContext, inbox: dict[int, Any]
+    ) -> dict[int, Any] | None:
+        if ctx.state["phase"] == "propose":
+            return self._resolve(ctx, inbox)
+        return self._propose(ctx, inbox)
+
+    def _resolve(
+        self, ctx: NodeContext, inbox: dict[int, Any]
+    ) -> dict[int, Any] | None:
+        """Compare bids; winners join the MIS and everyone reports fate."""
+        active: set[int] = ctx.state["active_nbrs"]
+        my = (ctx.state["priority"], ctx.node)
+        wins = True
+        for sender, payload in inbox.items():
+            if payload[0] == "bid" and sender in active:
+                if (payload[1], sender) < my:
+                    wins = False
+            elif payload[0] == "fate" and payload[1] == _OUT:
+                # Last-breath notification from a neighbor that went out
+                # in the previous notify round.
+                active.discard(sender)
+        ctx.state["phase"] = "notify"
+        if wins:
+            ctx.state["status"] = _IN_MIS
+            return {v: ("fate", _IN_MIS) for v in active}
+        return {v: ("fate", _UNDECIDED) for v in active}
+
+    def _propose(
+        self, ctx: NodeContext, inbox: dict[int, Any]
+    ) -> dict[int, Any] | None:
+        """Digest fate notifications; survivors start the next iteration."""
+        active: set[int] = ctx.state["active_nbrs"]
+        mis_neighbor = False
+        for sender, payload in inbox.items():
+            if payload[0] != "fate":
+                continue
+            if payload[1] == _IN_MIS:
+                mis_neighbor = True
+                active.discard(sender)
+            elif payload[1] == _OUT:
+                active.discard(sender)
+        if ctx.state["status"] == _IN_MIS:
+            ctx.halt()
+            return None
+        if mis_neighbor:
+            ctx.state["status"] = _OUT
+            ctx.halt()
+            # Last breath: tell remaining active neighbors we are out so
+            # they stop waiting for our bids.
+            return {v: ("fate", _OUT) for v in active}
+        active_now = set(active)
+        ctx.state["active_nbrs"] = active_now
+        ctx.state["iteration"] += 1
+        ctx.state["phase"] = "propose"
+        if not active_now:  # all neighbors decided, none in MIS -> join
+            ctx.state["status"] = _IN_MIS
+            ctx.halt()
+            return None
+        priority = self._draw(ctx.node, ctx.state["iteration"])
+        ctx.state["priority"] = priority
+        return {v: ("bid", priority) for v in active_now}
+
+    def output(self, ctx: NodeContext) -> bool:
+        """Whether this node is in the MIS."""
+        return ctx.state["status"] == _IN_MIS

@@ -1,0 +1,42 @@
+"""The DESIGN.md experiment suite (E1-E10 + F-series).
+
+Importing this package populates
+:data:`repro.experiments.runner.EXPERIMENT_REGISTRY`; ``run_all`` executes
+every experiment and renders EXPERIMENTS.md-ready markdown.
+"""
+
+from . import (  # noqa: F401 -- imported for registration side effects
+    ablations,
+    e1_stretch,
+    e2_degree,
+    e3_weight,
+    e4_rounds,
+    e5_baselines,
+    e6_alpha,
+    e7_dimension,
+    e8_scaling,
+    e9_energy,
+    e10_fault,
+    f_lemmas,
+    x1_doubling,
+)
+from .runner import EXPERIMENT_REGISTRY, ExperimentResult, format_table
+from .workloads import WORKLOAD_NAMES, Workload, make_workload
+
+__all__ = [
+    "EXPERIMENT_REGISTRY",
+    "ExperimentResult",
+    "format_table",
+    "Workload",
+    "make_workload",
+    "WORKLOAD_NAMES",
+    "run_all",
+]
+
+
+def run_all(quick: bool = False, seed: int = 0) -> list[ExperimentResult]:
+    """Run every registered experiment in id order."""
+    results = []
+    for name in sorted(EXPERIMENT_REGISTRY):
+        results.append(EXPERIMENT_REGISTRY[name](quick=quick, seed=seed))
+    return results

@@ -1,0 +1,156 @@
+"""A-series -- ablations of the design choices DESIGN.md calls out.
+
+The relaxed greedy algorithm stacks four mechanisms on top of plain
+``SEQ-GREEDY``; each ablation removes or perturbs one and measures what
+the paper says it buys:
+
+* **A1 covered-edge filter** (Section 2.2.2): claimed role -- prune
+  per-node query load so Theorem 11's degree bound holds.  Measured:
+  queries issued and degree with/without the filter.  (Stretch must stay
+  within bound either way -- the filter only removes *work*.)
+* **A2 redundancy removal** (Section 2.2.5): claimed role -- Theorem 13's
+  weight bound requires no mutually-redundant pair survives.  Measured:
+  lightness and edge count with/without.
+* **A3 binning rate r** (Section 2): lazy bin-at-a-time processing is
+  what allows O(log n) phases; a smaller ``r`` means finer bins -- more
+  phases but tighter laziness.  Measured: executed phases, edges, and
+  stretch across admissible ``r`` values.
+* **A4 cover radius delta** (Section 2.2.1): smaller ``delta`` means more
+  clusters (more queries) but better H-approximation; the admissible
+  range is capped by Theorems 10/13.  Measured: clusters, queries,
+  lightness across a delta sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..core.relaxed_greedy import RelaxedGreedySpanner
+from ..graphs.analysis import assess
+from ..params import SpannerParams
+from .runner import ExperimentResult, register
+from .workloads import make_workload
+
+__all__ = ["run"]
+
+
+def _build(workload, params, **flags):
+    builder = RelaxedGreedySpanner(params, **flags)
+    result = builder.build(workload.graph, workload.points.distance)
+    quality = assess(workload.graph, result.spanner)
+    queries = sum(p.num_queries for p in result.phases)
+    return result, quality, queries
+
+
+@register("A")
+def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
+    """Execute the ablation suite."""
+    n = 96 if quick else 192
+    eps = 0.5
+    base_params = SpannerParams.from_epsilon(eps)
+    workload = make_workload("uniform", n, seed=seed + 71)
+    result = ExperimentResult(
+        experiment="A",
+        claim=(
+            "ablations: each mechanism earns its keep (filter -> fewer "
+            "queries; removal -> lower weight; r/delta within admissible "
+            "ranges trade phases vs work)"
+        ),
+    )
+
+    # ---- A1: covered-edge filter --------------------------------------
+    _, q_on, queries_on = _build(workload, base_params)
+    _, q_off, queries_off = _build(
+        workload, base_params, use_covered_filter=False
+    )
+    result.rows.append(
+        {
+            "ablation": "A1 filter ON",
+            "stretch": q_on.stretch,
+            "max_degree": q_on.max_degree,
+            "lightness": q_on.lightness,
+            "edges": q_on.edges,
+            "queries": queries_on,
+        }
+    )
+    result.rows.append(
+        {
+            "ablation": "A1 filter OFF",
+            "stretch": q_off.stretch,
+            "max_degree": q_off.max_degree,
+            "lightness": q_off.lightness,
+            "edges": q_off.edges,
+            "queries": queries_off,
+        }
+    )
+    result.passed &= queries_on <= queries_off
+    result.passed &= q_on.stretch <= base_params.t * (1 + 1e-9)
+    result.passed &= q_off.stretch <= base_params.t * (1 + 1e-9)
+
+    # ---- A2: redundancy removal ---------------------------------------
+    _, q_nored, _ = _build(
+        workload, base_params, use_redundancy_removal=False
+    )
+    result.rows.append(
+        {
+            "ablation": "A2 removal OFF",
+            "stretch": q_nored.stretch,
+            "max_degree": q_nored.max_degree,
+            "lightness": q_nored.lightness,
+            "edges": q_nored.edges,
+            "queries": queries_on,
+        }
+    )
+    # Removal can only shed weight; stretch bound must survive either way.
+    result.passed &= q_nored.lightness >= q_on.lightness - 1e-9
+    result.passed &= q_nored.stretch <= base_params.t * (1 + 1e-9)
+
+    # ---- A3: binning rate sweep ---------------------------------------
+    r_hi = (base_params.t_delta + 1.0) / 2.0
+    for frac in (0.25, 0.9):
+        r = 1.0 + frac * (r_hi - 1.0)
+        params = replace(base_params, r=r)
+        build, quality, queries = _build(workload, params)
+        result.rows.append(
+            {
+                "ablation": f"A3 r={r:.4f}",
+                "stretch": quality.stretch,
+                "max_degree": quality.max_degree,
+                "lightness": quality.lightness,
+                "edges": quality.edges,
+                "queries": queries,
+                "phases": build.executed_phases,
+            }
+        )
+        result.passed &= quality.stretch <= params.t * (1 + 1e-9)
+
+    # Finer bins (smaller r) -> at least as many executed phases.
+    a3_rows = [row for row in result.rows if row["ablation"].startswith("A3")]
+    result.passed &= a3_rows[0]["phases"] >= a3_rows[1]["phases"]
+
+    # ---- A4: cover radius sweep ---------------------------------------
+    for frac in (0.3, 1.0):
+        delta = frac * base_params.delta
+        params = replace(base_params, delta=delta)
+        build, quality, queries = _build(workload, params)
+        # Last executed phase has the largest cover radius, i.e. the most
+        # aggregation -- the regime where delta actually matters.
+        last_clusters = build.phases[-1].num_clusters if build.phases else 0
+        result.rows.append(
+            {
+                "ablation": f"A4 delta={delta:.5f}",
+                "stretch": quality.stretch,
+                "max_degree": quality.max_degree,
+                "lightness": quality.lightness,
+                "edges": quality.edges,
+                "queries": queries,
+                "last_phase_clusters": last_clusters,
+            }
+        )
+        result.passed &= quality.stretch <= params.t * (1 + 1e-9)
+    a4_rows = [row for row in result.rows if row["ablation"].startswith("A4")]
+    # Smaller delta -> at least as many clusters in the final phase.
+    result.passed &= (
+        a4_rows[0]["last_phase_clusters"] >= a4_rows[1]["last_phase_clusters"]
+    )
+    return result

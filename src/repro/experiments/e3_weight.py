@@ -1,0 +1,51 @@
+"""E3 -- Theorem 13: total weight is O(w(MST)), flat in n.
+
+Measures lightness ``w(G')/w(MST)`` across sizes and workloads.  Shape:
+the ratio stays in a constant band as n grows (no upward drift), while
+the input graph's own lightness grows with density.
+"""
+
+from __future__ import annotations
+
+from ..core.relaxed_greedy import build_spanner
+from ..graphs.analysis import lightness
+from .runner import ExperimentResult, register
+from .workloads import make_workload
+
+__all__ = ["run"]
+
+
+@register("E3")
+def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
+    """Execute E3."""
+    sizes = (64, 128) if quick else (64, 128, 256, 512)
+    workloads = ("uniform",) if quick else ("uniform", "clustered")
+    eps = 0.5
+    result = ExperimentResult(
+        experiment="E3",
+        claim="Theorem 13: w(G') = O(w(MST(G))), ratio flat in n",
+    )
+    for name in workloads:
+        ratios = []
+        for n in sizes:
+            workload = make_workload(name, n, seed=seed + n)
+            build = build_spanner(
+                workload.graph, workload.points.distance, eps
+            )
+            ratio = lightness(workload.graph, build.spanner)
+            ratios.append(ratio)
+            result.rows.append(
+                {
+                    "workload": name,
+                    "n": n,
+                    "lightness": ratio,
+                    "input_lightness": lightness(
+                        workload.graph, workload.graph
+                    ),
+                    "spanner_weight": build.spanner.total_weight(),
+                }
+            )
+        # Flat band: largest ratio within 2x the smallest (loose, but
+        # scale-free growth would blow through it).
+        result.passed &= max(ratios) <= 2.0 * min(ratios) + 0.5
+    return result

@@ -1,0 +1,71 @@
+"""E5 -- Section 1.3: comparison against classical topology control.
+
+Reproduces the paper's positioning claims on one instance:
+
+* the relaxed greedy spanner achieves stretch ``1 + eps`` for arbitrary
+  eps -- versus ~6.2 for the Li--Wang [15] regime (YaoGG stand-in) and
+  unbounded-in-n stretch for MST/RNG/XTC;
+* its degree is constant and small;
+* its weight is O(w(MST)) -- a guarantee [15] does not provide, visible
+  as Yao/Theta/input lightness blowing up while greedy variants stay
+  near 1-2.
+"""
+
+from __future__ import annotations
+
+from ..baselines import baseline_registry
+from ..core.relaxed_greedy import build_spanner
+from ..graphs.analysis import assess
+from .runner import ExperimentResult, register
+from .workloads import make_workload
+
+__all__ = ["run"]
+
+
+@register("E5")
+def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
+    """Execute E5."""
+    n = 128 if quick else 256
+    workload = make_workload("uniform", n, seed=seed + 17)
+    result = ExperimentResult(
+        experiment="E5",
+        claim=(
+            "Section 1.3: (1+eps) stretch + O(1) degree + O(wMST) weight "
+            "simultaneously; baselines each miss at least one"
+        ),
+        notes=(
+            "YaoGG k=9 is the documented stand-in for Li-Wang [15] "
+            "(planar, bounded degree, constant-but-large stretch)"
+        ),
+    )
+    rows: dict[str, dict] = {}
+    for name, fn in baseline_registry().items():
+        quality = assess(workload.graph, fn(workload.graph, workload.points))
+        rows[name] = {
+            "topology": name,
+            "stretch": quality.stretch,
+            "max_degree": quality.max_degree,
+            "lightness": quality.lightness,
+            "edges": quality.edges,
+            "power_ratio": quality.power_cost_ratio,
+        }
+    for eps in (0.25, 0.5):
+        build = build_spanner(workload.graph, workload.points.distance, eps)
+        quality = assess(workload.graph, build.spanner)
+        rows[f"RelaxedGreedy eps={eps}"] = {
+            "topology": f"RelaxedGreedy eps={eps}",
+            "stretch": quality.stretch,
+            "max_degree": quality.max_degree,
+            "lightness": quality.lightness,
+            "edges": quality.edges,
+            "power_ratio": quality.power_cost_ratio,
+        }
+        # Shape: we beat the [15] stand-in's stretch and keep lightness
+        # within the greedy band.
+        result.passed &= quality.stretch <= 1.0 + eps + 1e-9
+    result.rows = list(rows.values())
+    rg = rows["RelaxedGreedy eps=0.25"]
+    standin = rows["YaoGG k=9 ([15] stand-in)"]
+    result.passed &= rg["stretch"] < standin["stretch"]
+    result.passed &= rg["lightness"] < rows["UDG (input)"]["lightness"]
+    return result

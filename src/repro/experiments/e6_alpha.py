@@ -1,0 +1,68 @@
+"""E6 -- Section 1.1: guarantees hold for every alpha and gray-zone adversary.
+
+Sweeps alpha and the gray-zone policy (keep-all, Bernoulli, decay,
+drop-all) and verifies stretch/degree/lightness on each resulting
+alpha-UBG.  Shape: all three guarantees hold regardless of the adversary
+-- the defining robustness of the alpha-UBG model over plain UDGs.
+"""
+
+from __future__ import annotations
+
+from ..core.relaxed_greedy import build_spanner
+from ..graphs.analysis import assess
+from ..graphs.build import (
+    BernoulliPolicy,
+    DecayPolicy,
+    DropAllPolicy,
+    KeepAllPolicy,
+    build_qubg,
+)
+from .runner import ExperimentResult, register
+from .workloads import make_workload
+
+__all__ = ["run"]
+
+
+@register("E6")
+def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
+    """Execute E6."""
+    n = 96 if quick else 192
+    alphas = (0.8,) if quick else (0.5, 0.65, 0.8, 1.0)
+    eps = 0.5
+    result = ExperimentResult(
+        experiment="E6",
+        claim=(
+            "Section 1.1: spanner guarantees hold for every alpha in "
+            "(0,1] and every gray-zone adversary"
+        ),
+    )
+    base = make_workload("uniform", n, seed=seed + 23)
+    for alpha in alphas:
+        policies = {
+            "keep-all": KeepAllPolicy(),
+            "bernoulli(0.5)": BernoulliPolicy(0.5, seed=seed),
+            "decay": DecayPolicy(alpha, seed=seed) if alpha < 1.0 else None,
+            "drop-all": DropAllPolicy(),
+        }
+        for policy_name, policy in policies.items():
+            if policy is None:
+                continue
+            graph = build_qubg(base.points, alpha, policy=policy)
+            build = build_spanner(
+                graph, base.points.distance, eps, alpha=alpha
+            )
+            quality = assess(graph, build.spanner)
+            ok = quality.stretch <= (1.0 + eps) * (1.0 + 1e-9)
+            result.rows.append(
+                {
+                    "alpha": alpha,
+                    "policy": policy_name,
+                    "input_edges": graph.num_edges,
+                    "stretch": quality.stretch,
+                    "max_degree": quality.max_degree,
+                    "lightness": quality.lightness,
+                    "within_bound": ok,
+                }
+            )
+            result.passed &= ok
+    return result

@@ -1,0 +1,66 @@
+"""E9 -- Section 1.6(2,3): energy metrics and power cost.
+
+Builds energy spanners for path-loss exponents gamma in {2, 3, 4} and
+verifies (a) energy stretch <= 1 + eps, (b) the topology's power cost is
+a constant multiple of the MST's and below the input's.  Shape: all
+bounds hold for every gamma; multi-hop routing makes energy stretch
+*better* than length stretch (paths of short hops cost less energy than
+one long hop).
+"""
+
+from __future__ import annotations
+
+from ..extensions.energy import build_energy_spanner
+from ..extensions.power_cost import power_cost_report
+from ..geometry.metrics import EnergyMetric
+from ..graphs.analysis import measure_stretch
+from .runner import ExperimentResult, register
+from .workloads import make_workload
+
+__all__ = ["run"]
+
+
+@register("E9")
+def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
+    """Execute E9."""
+    n = 96 if quick else 192
+    gammas = (2.0,) if quick else (2.0, 3.0, 4.0)
+    eps = 0.5
+    workload = make_workload("uniform", n, seed=seed + 41)
+    result = ExperimentResult(
+        experiment="E9",
+        claim=(
+            "Section 1.6(2,3): spanner property under c*|uv|^gamma and "
+            "bounded power cost"
+        ),
+        notes=(
+            "energy spanner built in length space with "
+            "t_len = (1+eps)^(1/gamma); see DESIGN.md substitutions"
+        ),
+    )
+    for gamma in gammas:
+        build = build_energy_spanner(
+            workload.graph, workload.points.distance, eps, gamma=gamma
+        )
+        stretch = measure_stretch(
+            build.energy_base, build.energy_spanner
+        ).max_stretch
+        power = power_cost_report(
+            workload.graph,
+            build.length_result.spanner,
+            EnergyMetric(gamma=gamma),
+        )
+        ok = stretch <= (1.0 + eps) * (1.0 + 1e-9)
+        result.rows.append(
+            {
+                "gamma": gamma,
+                "length_t": build.length_t,
+                "energy_stretch": stretch,
+                "edges": build.energy_spanner.num_edges,
+                "power_vs_input": power.ratio_vs_input,
+                "power_vs_mst": power.ratio_vs_mst,
+                "within_bound": ok,
+            }
+        )
+        result.passed &= ok and power.ratio_vs_input <= 1.0 + 1e-9
+    return result

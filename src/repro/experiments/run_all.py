@@ -1,0 +1,64 @@
+"""CLI driver: run the full experiment suite and print markdown.
+
+Usage::
+
+    python -m repro.experiments.run_all [--quick] [--seed N] [--only E1,E4]
+
+The output is the body that EXPERIMENTS.md records (claimed vs measured
+for every experiment).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .runner import EXPERIMENT_REGISTRY
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="small sizes")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--only", type=str, default="", help="comma-separated experiment ids"
+    )
+    parser.add_argument(
+        "--markdown", action="store_true", help="emit markdown instead of text"
+    )
+    args = parser.parse_args(argv)
+
+    wanted = (
+        {w.strip() for w in args.only.split(",") if w.strip()}
+        if args.only
+        else set(EXPERIMENT_REGISTRY)
+    )
+    unknown = wanted - set(EXPERIMENT_REGISTRY)
+    if unknown:
+        print(
+            f"unknown experiment id(s): {sorted(unknown)}; "
+            f"available: {sorted(EXPERIMENT_REGISTRY)}",
+            file=sys.stderr,
+        )
+        return 2
+    all_passed = True
+    for name in sorted(EXPERIMENT_REGISTRY):
+        if name not in wanted:
+            continue
+        start = time.perf_counter()
+        result = EXPERIMENT_REGISTRY[name](quick=args.quick, seed=args.seed)
+        elapsed = time.perf_counter() - start
+        if args.markdown:
+            print(result.to_markdown())
+            print(f"*({elapsed:.1f}s)*\n")
+        else:
+            print(result.to_text())
+            print(f"({elapsed:.1f}s)\n")
+        all_passed &= result.passed
+    return 0 if all_passed else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,125 @@
+"""Experiment result containers and table rendering.
+
+Every experiment module exposes ``run(quick=False, seed=0) ->
+ExperimentResult``; the result carries a claim statement, a table of
+measurement rows and a verdict.  ``format_text``/``format_markdown``
+render the tables that benches print and EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = ["ExperimentResult", "format_table", "EXPERIMENT_REGISTRY", "register"]
+
+
+@dataclass
+class ExperimentResult:
+    """One experiment's outcome.
+
+    Attributes
+    ----------
+    experiment:
+        Identifier (``"E1"`` ... ``"F20"``).
+    claim:
+        The paper claim being reproduced, one sentence.
+    rows:
+        Measurement rows (ordered dicts of column -> value).
+    passed:
+        Whether the claim's *shape* held on every row.
+    notes:
+        Free-form commentary (substitutions, caveats).
+    """
+
+    experiment: str
+    claim: str
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    passed: bool = True
+    notes: str = ""
+
+    def columns(self) -> list[str]:
+        """Union of row keys, in first-appearance order."""
+        cols: list[str] = []
+        for row in self.rows:
+            for key in row:
+                if key not in cols:
+                    cols.append(key)
+        return cols
+
+    def to_text(self) -> str:
+        """Plain-text rendering (claim, table, verdict)."""
+        head = f"[{self.experiment}] {self.claim}"
+        verdict = "PASS" if self.passed else "FAIL"
+        body = format_table(self.rows)
+        notes = f"notes: {self.notes}\n" if self.notes else ""
+        return f"{head}\n{body}\n{notes}verdict: {verdict}\n"
+
+    def to_markdown(self) -> str:
+        """Markdown rendering for EXPERIMENTS.md."""
+        cols = self.columns()
+        lines = [
+            f"### {self.experiment}: {self.claim}",
+            "",
+            "| " + " | ".join(cols) + " |",
+            "|" + "|".join("---" for _ in cols) + "|",
+        ]
+        for row in self.rows:
+            lines.append(
+                "| "
+                + " | ".join(_fmt(row.get(col, "")) for col in cols)
+                + " |"
+            )
+        lines.append("")
+        if self.notes:
+            lines.append(f"*Notes: {self.notes}*")
+            lines.append("")
+        lines.append(
+            f"**Verdict: {'PASS' if self.passed else 'FAIL'}**"
+        )
+        lines.append("")
+        return "\n".join(lines)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(rows: list[dict[str, Any]]) -> str:
+    """Fixed-width text table of measurement rows."""
+    if not rows:
+        return "(no rows)"
+    cols: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in cols:
+                cols.append(key)
+    rendered = [[_fmt(row.get(col, "")) for col in cols] for row in rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in rendered))
+        for i, col in enumerate(cols)
+    ]
+    header = "  ".join(col.ljust(w) for col, w in zip(cols, widths))
+    sep = "  ".join("-" * w for w in widths)
+    lines = [header, sep]
+    for r in rendered:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+#: name -> run callable; populated by :func:`register` at import time.
+EXPERIMENT_REGISTRY: dict[str, Callable[..., ExperimentResult]] = {}
+
+
+def register(name: str):
+    """Decorator adding an experiment ``run`` function to the registry."""
+
+    def wrap(fn: Callable[..., ExperimentResult]):
+        EXPERIMENT_REGISTRY[name] = fn
+        return fn
+
+    return wrap

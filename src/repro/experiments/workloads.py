@@ -1,0 +1,135 @@
+"""Named workload registry for the experiment suite.
+
+A *workload* bundles a point process, an alpha value and a gray-zone
+policy into a ready-made alpha-UBG instance.  Every experiment refers to
+workloads by name so EXPERIMENTS.md rows are exactly reproducible from
+``(workload, n, seed)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import GraphError
+from ..geometry.points import PointSet
+from ..geometry.sampling import (
+    clustered_points,
+    corridor_points,
+    grid_jitter_points,
+    uniform_points,
+)
+from ..graphs.build import (
+    BernoulliPolicy,
+    DecayPolicy,
+    GrayZonePolicy,
+    build_qubg,
+    build_udg,
+)
+from ..graphs.graph import Graph
+
+__all__ = ["Workload", "make_workload", "WORKLOAD_NAMES"]
+
+#: Names accepted by :func:`make_workload`.
+WORKLOAD_NAMES = (
+    "uniform",
+    "clustered",
+    "grid",
+    "corridor",
+    "uniform3d",
+)
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A generated problem instance.
+
+    Attributes
+    ----------
+    name:
+        Workload name (see :data:`WORKLOAD_NAMES`).
+    points:
+        Node coordinates.
+    graph:
+        The alpha-UBG built over them.
+    alpha:
+        The alpha used.
+    seed:
+        Generation seed.
+    """
+
+    name: str
+    points: PointSet
+    graph: Graph
+    alpha: float
+    seed: int
+
+    @property
+    def n(self) -> int:
+        """Number of nodes."""
+        return len(self.points)
+
+    @property
+    def dim(self) -> int:
+        """Euclidean dimension."""
+        return self.points.dim
+
+
+def _points_for(name: str, n: int, seed: int, degree: float) -> PointSet:
+    if name == "uniform":
+        return uniform_points(n, seed=seed, expected_degree=degree)
+    if name == "clustered":
+        return clustered_points(
+            n,
+            seed=seed,
+            num_clusters=max(3, n // 48),
+            cluster_std=0.45,
+            expected_degree=degree,
+        )
+    if name == "grid":
+        return grid_jitter_points(n, seed=seed, spacing=0.7, jitter=0.18)
+    if name == "corridor":
+        return corridor_points(n, seed=seed, length=max(10.0, n / 12.0))
+    if name == "uniform3d":
+        return uniform_points(
+            n, seed=seed, dim=3, expected_degree=max(degree, 10.0)
+        )
+    raise GraphError(f"unknown workload {name!r}; choose from {WORKLOAD_NAMES}")
+
+
+def make_workload(
+    name: str,
+    n: int,
+    seed: int = 0,
+    *,
+    alpha: float = 1.0,
+    policy: GrayZonePolicy | str | None = None,
+    expected_degree: float = 8.0,
+) -> Workload:
+    """Build the named workload instance.
+
+    Parameters
+    ----------
+    name:
+        One of :data:`WORKLOAD_NAMES`.
+    n:
+        Node count.
+    seed:
+        Point-process seed (also seeds stochastic gray-zone policies).
+    alpha:
+        Quasi-UBG parameter; 1.0 yields a plain UDG.
+    policy:
+        Gray-zone adversary for ``alpha < 1``; accepts a policy object or
+        one of the shorthand strings ``"bernoulli"`` / ``"decay"``.
+    expected_degree:
+        Target average degree for density-controlled point processes.
+    """
+    points = _points_for(name, n, seed, expected_degree)
+    if alpha >= 1.0:
+        graph = build_udg(points)
+    else:
+        if policy == "bernoulli":
+            policy = BernoulliPolicy(0.5, seed=seed)
+        elif policy == "decay":
+            policy = DecayPolicy(alpha, seed=seed)
+        graph = build_qubg(points, alpha, policy=policy)
+    return Workload(name=name, points=points, graph=graph, alpha=alpha, seed=seed)

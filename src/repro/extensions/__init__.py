@@ -1,0 +1,31 @@
+"""Section 1.6 extensions: fault tolerance, energy metrics, power cost."""
+
+from .energy import EnergySpannerResult, build_energy_spanner, reweight_graph
+from .fault_tolerance import (
+    FaultInjectionReport,
+    fault_injection_report,
+    is_k_vertex_fault_tolerant,
+    multipass_fault_tolerant_spanner,
+    one_fault_greedy,
+)
+from .power_cost import (
+    PowerCostReport,
+    power_assignment,
+    power_cost_report,
+    total_power,
+)
+
+__all__ = [
+    "one_fault_greedy",
+    "multipass_fault_tolerant_spanner",
+    "FaultInjectionReport",
+    "fault_injection_report",
+    "is_k_vertex_fault_tolerant",
+    "EnergySpannerResult",
+    "build_energy_spanner",
+    "reweight_graph",
+    "power_assignment",
+    "total_power",
+    "PowerCostReport",
+    "power_cost_report",
+]

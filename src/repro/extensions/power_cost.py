@@ -1,0 +1,103 @@
+"""Power-cost analysis (Section 1.6, extension 3).
+
+The power cost of a vertex is the cost of reaching its farthest chosen
+neighbor -- ``power(u) = max_{v in N(u)} w(u, v)`` -- and the power cost
+of a topology is the sum over vertices [8].  The paper claims its spanner
+is lightweight under this measure too.  This module provides:
+
+* per-node power assignments for a topology under a chosen metric;
+* the classical lower-bound baseline: the MST power assignment (any
+  connected topology pays at least the bottleneck the MST pays, up to a
+  factor 2 in sum);
+* a report object used by experiment E9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..geometry.metrics import EdgeMetric, EuclideanMetric
+from ..graphs.graph import Graph
+from ..graphs.mst import kruskal_mst
+
+__all__ = [
+    "power_assignment",
+    "total_power",
+    "PowerCostReport",
+    "power_cost_report",
+]
+
+
+def power_assignment(
+    graph: Graph, metric: EdgeMetric | None = None
+) -> dict[int, float]:
+    """Per-node transmit power for topology ``graph``.
+
+    Edge weights are treated as Euclidean lengths and mapped through
+    ``metric`` (default: identity/Euclidean), so the same topology can be
+    costed under energy exponents without reweighting.
+    Isolated vertices need no power and get 0.
+    """
+    metric = metric or EuclideanMetric()
+    out: dict[int, float] = {}
+    for u in graph.vertices():
+        best = 0.0
+        for _, w in graph.neighbor_items(u):
+            cost = metric.weight_of_length(w)
+            if cost > best:
+                best = cost
+        out[u] = best
+    return out
+
+
+def total_power(graph: Graph, metric: EdgeMetric | None = None) -> float:
+    """Power cost ``sum_u power(u)`` of ``graph`` under ``metric``."""
+    return sum(power_assignment(graph, metric).values())
+
+
+@dataclass(frozen=True)
+class PowerCostReport:
+    """Power-cost comparison of a topology against references.
+
+    Attributes
+    ----------
+    topology_power:
+        Power cost of the examined topology.
+    input_power:
+        Power cost of the full input graph (everyone shouting at max
+        range to every neighbor's distance).
+    mst_power:
+        Power cost of the MST -- the sparsest connected reference.
+    ratio_vs_input / ratio_vs_mst:
+        The headline ratios (< 1 vs input is a saving; O(1) vs MST is
+        the paper's lightness claim transferred to power).
+    """
+
+    topology_power: float
+    input_power: float
+    mst_power: float
+
+    @property
+    def ratio_vs_input(self) -> float:
+        return (
+            self.topology_power / self.input_power
+            if self.input_power > 0
+            else 1.0
+        )
+
+    @property
+    def ratio_vs_mst(self) -> float:
+        return (
+            self.topology_power / self.mst_power if self.mst_power > 0 else 1.0
+        )
+
+
+def power_cost_report(
+    base: Graph, topology: Graph, metric: EdgeMetric | None = None
+) -> PowerCostReport:
+    """Cost ``topology`` against the input graph and the MST baseline."""
+    return PowerCostReport(
+        topology_power=total_power(topology, metric),
+        input_power=total_power(base, metric),
+        mst_power=total_power(kruskal_mst(base), metric),
+    )

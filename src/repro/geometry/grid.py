@@ -1,0 +1,117 @@
+"""Axis-parallel grid index for fixed-radius neighbor queries.
+
+Building a UDG / alpha-UBG naively costs ``Theta(n^2)`` distance checks.
+Because every edge has length at most 1, bucketing points into an
+axis-parallel grid of cell width ``h >= max edge length`` confines each
+point's candidate neighbors to the ``3^d`` surrounding cells.  The same
+structure implements the grid-cell partition used in the Theorem 11 degree
+argument (cells of width ``alpha/sqrt(d)``).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterator
+
+import numpy as np
+
+from ..exceptions import GraphError
+from .points import PointSet
+
+__all__ = ["GridIndex"]
+
+
+class GridIndex:
+    """Uniform grid over a :class:`PointSet` for radius queries.
+
+    Parameters
+    ----------
+    points:
+        The point set to index.
+    cell_width:
+        Side length of each grid cell; must be positive.  Radius queries
+        with ``radius <= cell_width`` inspect only adjacent cells.
+    """
+
+    __slots__ = ("_points", "_cell_width", "_cells")
+
+    def __init__(self, points: PointSet, cell_width: float) -> None:
+        if cell_width <= 0.0:
+            raise GraphError(f"cell_width must be positive, got {cell_width}")
+        self._points = points
+        self._cell_width = float(cell_width)
+        cells: dict[tuple[int, ...], list[int]] = defaultdict(list)
+        keys = np.floor(points.coords / self._cell_width).astype(np.int64)
+        for idx, key in enumerate(map(tuple, keys)):
+            cells[key].append(idx)
+        self._cells = dict(cells)
+
+    @property
+    def cell_width(self) -> float:
+        """Grid cell side length."""
+        return self._cell_width
+
+    @property
+    def num_cells(self) -> int:
+        """Number of non-empty cells."""
+        return len(self._cells)
+
+    def cell_of(self, idx: int) -> tuple[int, ...]:
+        """Grid cell key containing point ``idx``."""
+        return tuple(
+            int(c)
+            for c in np.floor(self._points[idx] / self._cell_width).astype(
+                np.int64
+            )
+        )
+
+    def points_in_cell(self, key: tuple[int, ...]) -> list[int]:
+        """Indices of points stored in cell ``key`` (empty list if none)."""
+        return list(self._cells.get(key, ()))
+
+    def _neighbor_cells(
+        self, key: tuple[int, ...], reach: int
+    ) -> Iterator[tuple[int, ...]]:
+        """Yield every cell key within Chebyshev distance ``reach``."""
+        dim = len(key)
+        offsets = [range(-reach, reach + 1)] * dim
+        stack: list[tuple[int, ...]] = [()]
+        for axis_range in offsets:
+            stack = [prefix + (off,) for prefix in stack for off in axis_range]
+        for offset in stack:
+            yield tuple(k + o for k, o in zip(key, offset))
+
+    def neighbors_within(self, idx: int, radius: float) -> list[int]:
+        """Indices of points within Euclidean ``radius`` of point ``idx``.
+
+        The point itself is excluded.  Results are sorted for determinism.
+        """
+        if radius < 0.0:
+            raise GraphError(f"radius must be >= 0, got {radius}")
+        reach = max(1, int(np.ceil(radius / self._cell_width)))
+        key = self.cell_of(idx)
+        center = self._points[idx]
+        found: list[int] = []
+        radius_sq = radius * radius
+        for cell in self._neighbor_cells(key, reach):
+            bucket = self._cells.get(cell)
+            if not bucket:
+                continue
+            for other in bucket:
+                if other == idx:
+                    continue
+                diff = self._points[other] - center
+                if float(np.dot(diff, diff)) <= radius_sq:
+                    found.append(other)
+        found.sort()
+        return found
+
+    def all_pairs_within(self, radius: float) -> Iterator[tuple[int, int, float]]:
+        """Yield every unordered pair ``(u, v, distance)`` with
+        ``distance <= radius`` exactly once (``u < v``)."""
+        if radius < 0.0:
+            raise GraphError(f"radius must be >= 0, got {radius}")
+        for u in range(len(self._points)):
+            for v in self.neighbors_within(u, radius):
+                if u < v:
+                    yield u, v, self._points.distance(u, v)

@@ -1,0 +1,85 @@
+"""Edge-weight metrics.
+
+The paper defaults to Euclidean edge weights ``w(u, v) = |uv|`` but its
+Section 1.6(2) extension notes the algorithm also works with relative
+Euclidean weights ``w(u, v) = c * |uv|^gamma`` (``c > 0``, ``gamma >= 1``),
+which model transmission energy.  Both are provided here behind a common
+interface so every algorithm in :mod:`repro.core` is metric-generic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+from ..exceptions import ParameterError
+from .points import PointSet
+
+__all__ = ["EdgeMetric", "EuclideanMetric", "EnergyMetric"]
+
+
+@runtime_checkable
+class EdgeMetric(Protocol):
+    """Callable protocol mapping a Euclidean length to an edge weight.
+
+    Implementations must be monotonically non-decreasing in the Euclidean
+    length; the binning argument of Section 2 relies on length order being
+    preserved.
+    """
+
+    def weight_of_length(self, length: float) -> float:
+        """Edge weight for a segment of Euclidean length ``length``."""
+        ...
+
+    def weight(self, points: PointSet, u: int, v: int) -> float:
+        """Edge weight between points ``u`` and ``v`` of ``points``."""
+        ...
+
+
+@dataclass(frozen=True)
+class EuclideanMetric:
+    """The paper's default metric: ``w(u, v) = |uv|``."""
+
+    def weight_of_length(self, length: float) -> float:
+        """Identity: the weight of a segment is its length."""
+        return length
+
+    def weight(self, points: PointSet, u: int, v: int) -> float:
+        """Euclidean distance between ``u`` and ``v``."""
+        return points.distance(u, v)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return "EuclideanMetric()"
+
+
+@dataclass(frozen=True)
+class EnergyMetric:
+    """Energy metric ``w(u, v) = c * |uv|^gamma`` (Section 1.6(2)).
+
+    ``gamma`` is the path-loss exponent; free space is ``gamma = 2`` and
+    cluttered environments push it towards 4.  ``c`` is a radio constant.
+
+    Attributes
+    ----------
+    gamma:
+        Path-loss exponent, must be >= 1 (the paper's condition).
+    c:
+        Positive multiplicative constant.
+    """
+
+    gamma: float = 2.0
+    c: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.gamma < 1.0:
+            raise ParameterError(f"gamma must be >= 1, got {self.gamma}")
+        if self.c <= 0.0:
+            raise ParameterError(f"c must be > 0, got {self.c}")
+
+    def weight_of_length(self, length: float) -> float:
+        """``c * length^gamma``."""
+        return self.c * length**self.gamma
+
+    def weight(self, points: PointSet, u: int, v: int) -> float:
+        """``c * |uv|^gamma`` for points ``u`` and ``v``."""
+        return self.weight_of_length(points.distance(u, v))

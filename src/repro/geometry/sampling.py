@@ -1,0 +1,214 @@
+"""Point-process generators for synthetic wireless deployments.
+
+The paper evaluates nothing empirically; these generators provide the
+synthetic node placements that our experiments (DESIGN.md section 4) use to
+exercise the algorithms.  Each generator returns a :class:`PointSet` whose
+coordinates live in a box sized so that the resulting unit-ball graph has a
+controllable average degree.
+
+All generators take an explicit ``rng`` (a :class:`numpy.random.Generator`)
+or a ``seed``; experiments must be reproducible run-to-run.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import GraphError
+from .points import PointSet
+
+__all__ = [
+    "make_rng",
+    "side_for_expected_degree",
+    "uniform_points",
+    "clustered_points",
+    "grid_jitter_points",
+    "corridor_points",
+    "annulus_points",
+]
+
+
+def make_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Coerce ``seed`` into a :class:`numpy.random.Generator`.
+
+    ``None`` yields a non-deterministic generator; an existing generator is
+    passed through untouched so call-sites can chain sampling steps.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def side_for_expected_degree(
+    n: int, degree: float, dim: int = 2, radius: float = 1.0
+) -> float:
+    """Box side length giving expected UDG degree ``degree``.
+
+    For ``n`` uniform points in ``[0, L]^d``, a node's expected number of
+    neighbors within ``radius`` is roughly ``(n - 1) * V_d(radius) / L^d``
+    where ``V_d`` is the volume of the d-ball.  Solving for ``L`` lets
+    experiments hold density constant while growing ``n`` (the regime in
+    which Theorems 11/13 predict flat degree and weight ratios).
+    """
+    if n < 2:
+        raise GraphError(f"need n >= 2, got {n}")
+    if degree <= 0.0:
+        raise GraphError(f"expected degree must be positive, got {degree}")
+    ball_volume = math.pi ** (dim / 2.0) / math.gamma(dim / 2.0 + 1.0)
+    ball_volume *= radius**dim
+    return ((n - 1) * ball_volume / degree) ** (1.0 / dim)
+
+
+def uniform_points(
+    n: int,
+    *,
+    dim: int = 2,
+    side: float | None = None,
+    expected_degree: float = 8.0,
+    seed: int | np.random.Generator | None = None,
+) -> PointSet:
+    """``n`` i.i.d. uniform points in ``[0, side]^dim``.
+
+    If ``side`` is omitted it is derived from ``expected_degree`` via
+    :func:`side_for_expected_degree` (for unit radius), which is the
+    constant-density scaling every growth experiment uses.
+    """
+    if n < 1:
+        raise GraphError(f"need n >= 1, got {n}")
+    rng = make_rng(seed)
+    if side is None:
+        side = side_for_expected_degree(max(n, 2), expected_degree, dim)
+    if side <= 0:
+        raise GraphError(f"side must be positive, got {side}")
+    return PointSet(rng.uniform(0.0, side, size=(n, dim)))
+
+
+def clustered_points(
+    n: int,
+    *,
+    dim: int = 2,
+    num_clusters: int = 5,
+    cluster_std: float = 0.35,
+    side: float | None = None,
+    expected_degree: float = 8.0,
+    seed: int | np.random.Generator | None = None,
+) -> PointSet:
+    """Gaussian-cluster deployment (dense pockets + sparse in-between).
+
+    Cluster centers are uniform in the box; each point picks a uniformly
+    random center and adds isotropic Gaussian noise with standard deviation
+    ``cluster_std``.  This is the classic "villages" workload that stresses
+    phase 0 (dense cliques) and the weight bound (long inter-cluster
+    edges).
+    """
+    if n < 1:
+        raise GraphError(f"need n >= 1, got {n}")
+    if num_clusters < 1:
+        raise GraphError(f"need num_clusters >= 1, got {num_clusters}")
+    rng = make_rng(seed)
+    if side is None:
+        side = side_for_expected_degree(max(n, 2), expected_degree, dim)
+    centers = rng.uniform(0.0, side, size=(num_clusters, dim))
+    which = rng.integers(0, num_clusters, size=n)
+    noise = rng.normal(0.0, cluster_std, size=(n, dim))
+    coords = centers[which] + noise
+    # Fold out-of-box points back in by reflection (a triangle wave).
+    # Clipping would pile every outlier onto the boundary -- and distinct
+    # points collapsing onto a corner breaks the positive-edge-weight
+    # invariant of the graph builders.
+    coords = np.mod(coords, 2.0 * side)
+    coords = np.where(coords > side, 2.0 * side - coords, coords)
+    return PointSet(coords)
+
+
+def grid_jitter_points(
+    n: int,
+    *,
+    dim: int = 2,
+    spacing: float = 0.7,
+    jitter: float = 0.15,
+    seed: int | np.random.Generator | None = None,
+) -> PointSet:
+    """Perturbed lattice deployment (planned sensor fields).
+
+    Points sit on a regular grid with ``spacing`` between lattice sites and
+    uniform jitter of magnitude ``jitter`` per coordinate.  The first ``n``
+    lattice sites (row-major) are used.
+    """
+    if n < 1:
+        raise GraphError(f"need n >= 1, got {n}")
+    if spacing <= 0:
+        raise GraphError(f"spacing must be positive, got {spacing}")
+    if jitter < 0:
+        raise GraphError(f"jitter must be >= 0, got {jitter}")
+    rng = make_rng(seed)
+    per_side = math.ceil(n ** (1.0 / dim))
+    sites = []
+    for flat in range(n):
+        key = []
+        rem = flat
+        for _ in range(dim):
+            key.append(rem % per_side)
+            rem //= per_side
+        sites.append(key)
+    coords = np.asarray(sites, dtype=np.float64) * spacing
+    coords += rng.uniform(-jitter, jitter, size=coords.shape)
+    return PointSet(coords)
+
+
+def corridor_points(
+    n: int,
+    *,
+    length: float = 40.0,
+    width: float = 1.5,
+    dim: int = 2,
+    seed: int | np.random.Generator | None = None,
+) -> PointSet:
+    """A long thin corridor (road / tunnel / pipeline monitoring).
+
+    Uniform in ``[0, length] x [0, width]^{dim-1}``.  Produces large hop
+    diameters, the worst case for cluster-cover hop bounds.
+    """
+    if n < 1:
+        raise GraphError(f"need n >= 1, got {n}")
+    if length <= 0 or width <= 0:
+        raise GraphError("length and width must be positive")
+    rng = make_rng(seed)
+    coords = np.empty((n, dim), dtype=np.float64)
+    coords[:, 0] = rng.uniform(0.0, length, size=n)
+    for axis in range(1, dim):
+        coords[:, axis] = rng.uniform(0.0, width, size=n)
+    return PointSet(coords)
+
+
+def annulus_points(
+    n: int,
+    *,
+    inner: float = 3.0,
+    outer: float = 5.0,
+    seed: int | np.random.Generator | None = None,
+) -> PointSet:
+    """Uniform points in a 2-D annulus (perimeter-surveillance deployments).
+
+    Sampling is by rejection from the bounding square, preserving uniform
+    area density.
+    """
+    if n < 1:
+        raise GraphError(f"need n >= 1, got {n}")
+    if not 0.0 <= inner < outer:
+        raise GraphError(
+            f"need 0 <= inner < outer, got inner={inner}, outer={outer}"
+        )
+    rng = make_rng(seed)
+    points: list[Sequence[float]] = []
+    inner_sq, outer_sq = inner * inner, outer * outer
+    while len(points) < n:
+        batch = rng.uniform(-outer, outer, size=(max(64, n), 2))
+        dist_sq = np.einsum("ij,ij->i", batch, batch)
+        keep = batch[(dist_sq >= inner_sq) & (dist_sq <= outer_sq)]
+        points.extend(keep[: n - len(points)].tolist())
+    coords = np.asarray(points, dtype=np.float64) + outer
+    return PointSet(coords)

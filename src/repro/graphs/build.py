@@ -1,0 +1,220 @@
+"""Builders for unit disk graphs and alpha-quasi unit ball graphs.
+
+Section 1.1 of the paper: a d-dimensional ``alpha``-UBG on a point set has
+an edge for every pair at distance ``<= alpha``, no edge for pairs at
+distance ``> 1``, and *any* adversarial choice for pairs in the gray zone
+``(alpha, 1]``.  A UDG is the special case ``alpha = 1``.
+
+The gray-zone choice is modelled by :class:`GrayZonePolicy` strategies.
+Because the guarantees of the paper hold for every admissible adversary,
+experiments sweep several policies (E6) -- keep-all, drop-all, Bernoulli,
+distance-decay and obstacle-crossing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from ..exceptions import GraphError
+from ..geometry.grid import GridIndex
+from ..geometry.metrics import EdgeMetric, EuclideanMetric
+from ..geometry.points import PointSet
+from .graph import Graph
+
+__all__ = [
+    "GrayZonePolicy",
+    "KeepAllPolicy",
+    "DropAllPolicy",
+    "BernoulliPolicy",
+    "DecayPolicy",
+    "ObstaclePolicy",
+    "build_udg",
+    "build_qubg",
+]
+
+
+@runtime_checkable
+class GrayZonePolicy(Protocol):
+    """Adversary deciding which gray-zone pairs become edges.
+
+    ``decide`` is called once per unordered pair ``(u, v)`` with
+    ``alpha < |uv| <= 1`` and must be deterministic for a given policy
+    instance (policies carry their own seeded RNG where applicable) so
+    that graph construction is reproducible.
+    """
+
+    def decide(self, points: PointSet, u: int, v: int, dist: float) -> bool:
+        """Whether the gray-zone pair ``{u, v}`` is an edge."""
+        ...
+
+
+@dataclass(frozen=True)
+class KeepAllPolicy:
+    """Keep every gray-zone edge: the graph is a unit disk/ball graph."""
+
+    def decide(self, points: PointSet, u: int, v: int, dist: float) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class DropAllPolicy:
+    """Drop every gray-zone edge: the graph is a radius-``alpha`` ball graph."""
+
+    def decide(self, points: PointSet, u: int, v: int, dist: float) -> bool:
+        return False
+
+
+class BernoulliPolicy:
+    """Keep each gray-zone edge independently with probability ``p``.
+
+    The decision for a pair is a deterministic hash of the pair under the
+    instance seed, so repeated builds agree.
+    """
+
+    def __init__(self, p: float = 0.5, seed: int = 0) -> None:
+        if not 0.0 <= p <= 1.0:
+            raise GraphError(f"p must be in [0, 1], got {p}")
+        self._p = p
+        self._seed = seed
+
+    def decide(self, points: PointSet, u: int, v: int, dist: float) -> bool:
+        rng = np.random.default_rng((self._seed, min(u, v), max(u, v)))
+        return bool(rng.random() < self._p)
+
+    def __repr__(self) -> str:
+        return f"BernoulliPolicy(p={self._p}, seed={self._seed})"
+
+
+class DecayPolicy:
+    """Fading-signal model: keep probability decays with distance.
+
+    The keep probability for a pair at distance ``dist`` is
+    ``((1 - dist) / (1 - alpha)) ** k`` -- 1 at the ``alpha`` boundary,
+    0 at distance 1 -- matching the intuition that marginal links are
+    increasingly unreliable.
+    """
+
+    def __init__(self, alpha: float, k: float = 2.0, seed: int = 0) -> None:
+        if not 0.0 < alpha < 1.0:
+            raise GraphError(
+                f"DecayPolicy needs 0 < alpha < 1, got {alpha}"
+            )
+        if k <= 0:
+            raise GraphError(f"k must be positive, got {k}")
+        self._alpha = alpha
+        self._k = k
+        self._seed = seed
+
+    def decide(self, points: PointSet, u: int, v: int, dist: float) -> bool:
+        frac = max(0.0, (1.0 - dist) / (1.0 - self._alpha))
+        prob = frac**self._k
+        rng = np.random.default_rng((self._seed, min(u, v), max(u, v)))
+        return bool(rng.random() < prob)
+
+    def __repr__(self) -> str:
+        return f"DecayPolicy(alpha={self._alpha}, k={self._k}, seed={self._seed})"
+
+
+@dataclass(frozen=True)
+class ObstaclePolicy:
+    """Physical-obstruction model: drop gray-zone links crossing obstacles.
+
+    Obstacles are balls ``(center, radius)``.  A gray-zone pair is dropped
+    iff the segment between the two points passes within ``radius`` of an
+    obstacle center.  (Short links -- length ``<= alpha`` -- are kept
+    regardless, as the alpha-UBG definition requires.)
+    """
+
+    obstacles: tuple[tuple[tuple[float, ...], float], ...] = field(
+        default_factory=tuple
+    )
+
+    def decide(self, points: PointSet, u: int, v: int, dist: float) -> bool:
+        p, q = points[u], points[v]
+        for center, radius in self.obstacles:
+            if _segment_ball_intersects(p, q, np.asarray(center), radius):
+                return False
+        return True
+
+
+def _segment_ball_intersects(
+    p: np.ndarray, q: np.ndarray, center: np.ndarray, radius: float
+) -> bool:
+    """Whether segment ``pq`` passes within ``radius`` of ``center``."""
+    seg = q - p
+    seg_len_sq = float(np.dot(seg, seg))
+    if seg_len_sq == 0.0:
+        gap = p - center
+        return float(np.dot(gap, gap)) <= radius * radius
+    proj = float(np.dot(center - p, seg)) / seg_len_sq
+    proj = max(0.0, min(1.0, proj))
+    closest = p + proj * seg
+    gap = closest - center
+    return float(np.dot(gap, gap)) <= radius * radius
+
+
+def build_udg(
+    points: PointSet,
+    *,
+    radius: float = 1.0,
+    metric: EdgeMetric | None = None,
+) -> Graph:
+    """Unit disk/ball graph: edge iff ``|uv| <= radius``.
+
+    Parameters
+    ----------
+    points:
+        Node positions.
+    radius:
+        Connection radius (1.0 gives the standard UDG; the paper's model
+        normalizes the maximum transmission range to 1).
+    metric:
+        Edge-weight metric; defaults to Euclidean lengths.
+    """
+    if radius <= 0.0:
+        raise GraphError(f"radius must be positive, got {radius}")
+    metric = metric or EuclideanMetric()
+    graph = Graph(len(points))
+    index = GridIndex(points, cell_width=radius)
+    for u, v, dist in index.all_pairs_within(radius):
+        graph.add_edge(u, v, metric.weight_of_length(dist))
+    return graph
+
+
+def build_qubg(
+    points: PointSet,
+    alpha: float,
+    *,
+    policy: GrayZonePolicy | None = None,
+    metric: EdgeMetric | None = None,
+) -> Graph:
+    """Alpha-quasi unit ball graph with an adversarial gray zone.
+
+    Every pair at distance ``<= alpha`` becomes an edge; pairs at distance
+    in ``(alpha, 1]`` are decided by ``policy`` (default:
+    :class:`KeepAllPolicy`); pairs beyond distance 1 are never edges.
+
+    Parameters
+    ----------
+    points:
+        Node positions.
+    alpha:
+        Quasi-UBG parameter in ``(0, 1]``.
+    policy:
+        Gray-zone adversary.
+    metric:
+        Edge-weight metric; defaults to Euclidean lengths.
+    """
+    if not 0.0 < alpha <= 1.0:
+        raise GraphError(f"alpha must be in (0, 1], got {alpha}")
+    metric = metric or EuclideanMetric()
+    policy = policy or KeepAllPolicy()
+    graph = Graph(len(points))
+    index = GridIndex(points, cell_width=1.0)
+    for u, v, dist in index.all_pairs_within(1.0):
+        if dist <= alpha or policy.decide(points, u, v, dist):
+            graph.add_edge(u, v, metric.weight_of_length(dist))
+    return graph

@@ -1,0 +1,62 @@
+"""Connected components and clique checks.
+
+Phase 0 of the relaxed greedy algorithm (Section 2.1) partitions the
+short-edge graph ``G_0`` into connected components; Lemma 1 guarantees each
+component induces a clique in ``G``.  Both operations live here.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable
+
+from .graph import Graph
+
+__all__ = ["connected_components", "is_connected", "largest_component", "is_clique"]
+
+
+def connected_components(graph: Graph) -> list[list[int]]:
+    """Connected components as sorted vertex lists, largest-first.
+
+    Isolated vertices form singleton components.
+    """
+    seen: set[int] = set()
+    components: list[list[int]] = []
+    for start in graph.vertices():
+        if start in seen:
+            continue
+        comp = [start]
+        seen.add(start)
+        queue = deque([start])
+        while queue:
+            u = queue.popleft()
+            for v in graph.neighbors(u):
+                if v not in seen:
+                    seen.add(v)
+                    comp.append(v)
+                    queue.append(v)
+        comp.sort()
+        components.append(comp)
+    components.sort(key=len, reverse=True)
+    return components
+
+
+def is_connected(graph: Graph) -> bool:
+    """Whether the graph has at most one connected component."""
+    return len(connected_components(graph)) <= 1
+
+
+def largest_component(graph: Graph) -> list[int]:
+    """Vertices of the largest connected component (sorted)."""
+    components = connected_components(graph)
+    return components[0] if components else []
+
+
+def is_clique(graph: Graph, nodes: Iterable[int]) -> bool:
+    """Whether every pair in ``nodes`` is joined by an edge of ``graph``."""
+    members = sorted(set(nodes))
+    for i, u in enumerate(members):
+        for v in members[i + 1 :]:
+            if not graph.has_edge(u, v):
+                return False
+    return True

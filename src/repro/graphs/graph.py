@@ -1,0 +1,279 @@
+"""A compact undirected weighted graph on integer vertices.
+
+Every algorithm in this library operates on :class:`Graph`: vertices are
+the integers ``0 .. n-1`` (matching :class:`repro.geometry.PointSet`
+labels) and edges carry positive float weights.  The representation is a
+dict-of-dicts adjacency, which supports the access patterns the spanner
+algorithms need (neighbor iteration, O(1) edge queries, cheap dynamic
+insertion) while staying trivially convertible to :mod:`networkx` and
+:mod:`scipy.sparse` for verification and bulk shortest-path work.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from ..exceptions import GraphError
+
+__all__ = ["Graph"]
+
+
+class Graph:
+    """Undirected weighted graph on vertices ``0 .. n-1``.
+
+    Parameters
+    ----------
+    num_vertices:
+        Number of vertices.  The vertex set is fixed at construction;
+        edges may be added and removed freely.
+    """
+
+    __slots__ = ("_adj", "_num_edges")
+
+    def __init__(self, num_vertices: int) -> None:
+        if num_vertices < 0:
+            raise GraphError(f"num_vertices must be >= 0, got {num_vertices}")
+        self._adj: list[dict[int, float]] = [{} for _ in range(num_vertices)]
+        self._num_edges = 0
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices ``n``."""
+        return len(self._adj)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges currently present."""
+        return self._num_edges
+
+    def vertices(self) -> range:
+        """The vertex ids ``range(n)``."""
+        return range(len(self._adj))
+
+    def _check_vertex(self, u: int) -> None:
+        if not 0 <= u < len(self._adj):
+            raise GraphError(
+                f"vertex {u} out of range [0, {len(self._adj)})"
+            )
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the edge ``{u, v}`` is present."""
+        self._check_vertex(u)
+        self._check_vertex(v)
+        return v in self._adj[u]
+
+    def weight(self, u: int, v: int) -> float:
+        """Weight of edge ``{u, v}``; raises if absent."""
+        self._check_vertex(u)
+        self._check_vertex(v)
+        try:
+            return self._adj[u][v]
+        except KeyError:
+            raise GraphError(f"edge ({u}, {v}) not in graph") from None
+
+    def neighbors(self, u: int) -> Iterator[int]:
+        """Iterate over the neighbors of ``u``."""
+        self._check_vertex(u)
+        return iter(self._adj[u])
+
+    def neighbor_items(self, u: int) -> Iterator[tuple[int, float]]:
+        """Iterate over ``(neighbor, weight)`` pairs of ``u``."""
+        self._check_vertex(u)
+        return iter(self._adj[u].items())
+
+    def degree(self, u: int) -> int:
+        """Number of edges incident on ``u``."""
+        self._check_vertex(u)
+        return len(self._adj[u])
+
+    def edges(self) -> Iterator[tuple[int, int, float]]:
+        """Iterate over edges as ``(u, v, weight)`` with ``u < v``."""
+        for u, nbrs in enumerate(self._adj):
+            for v, w in nbrs.items():
+                if u < v:
+                    yield u, v, w
+
+    def edge_set(self) -> set[tuple[int, int]]:
+        """The set of edges as ``(min, max)`` vertex pairs."""
+        return {(u, v) for u, v, _ in self.edges()}
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add_edge(self, u: int, v: int, weight: float) -> None:
+        """Insert (or overwrite) the edge ``{u, v}`` with ``weight``.
+
+        Self-loops and non-positive weights are rejected: the paper's
+        graphs are simple with positive Euclidean-derived weights, and
+        Dijkstra's correctness here relies on positivity.
+        """
+        self._check_vertex(u)
+        self._check_vertex(v)
+        if u == v:
+            raise GraphError(f"self-loop at vertex {u} not allowed")
+        if not weight > 0.0:
+            raise GraphError(
+                f"edge weight must be positive, got {weight} for ({u}, {v})"
+            )
+        if v not in self._adj[u]:
+            self._num_edges += 1
+        self._adj[u][v] = float(weight)
+        self._adj[v][u] = float(weight)
+
+    def remove_edge(self, u: int, v: int) -> None:
+        """Delete the edge ``{u, v}``; raises if absent."""
+        self._check_vertex(u)
+        self._check_vertex(v)
+        if v not in self._adj[u]:
+            raise GraphError(f"edge ({u}, {v}) not in graph")
+        del self._adj[u][v]
+        del self._adj[v][u]
+        self._num_edges -= 1
+
+    def add_edges_from(
+        self, edges: Iterable[tuple[int, int, float]]
+    ) -> None:
+        """Bulk :meth:`add_edge` from ``(u, v, weight)`` triples."""
+        for u, v, w in edges:
+            self.add_edge(u, v, w)
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+    def copy(self) -> "Graph":
+        """Deep copy (vertex set and all edges)."""
+        out = Graph(self.num_vertices)
+        for u, nbrs in enumerate(self._adj):
+            out._adj[u] = dict(nbrs)
+        out._num_edges = self._num_edges
+        return out
+
+    def subgraph(self, nodes: Iterable[int]) -> "Graph":
+        """Induced subgraph on ``nodes``, keeping original vertex ids.
+
+        Vertices outside ``nodes`` remain in the vertex set but become
+        isolated; this keeps ids stable, which the phase-local algorithms
+        rely on.
+        """
+        keep = set(nodes)
+        for u in keep:
+            self._check_vertex(u)
+        out = Graph(self.num_vertices)
+        for u in keep:
+            for v, w in self._adj[u].items():
+                if v in keep and u < v:
+                    out.add_edge(u, v, w)
+        return out
+
+    def spanning_union(self, other: "Graph") -> "Graph":
+        """New graph with the union of this graph's and ``other``'s edges.
+
+        Both graphs must share the vertex count.  On weight conflicts the
+        *smaller* weight wins (weights here always agree in practice since
+        both sides derive from the same point set).
+        """
+        if other.num_vertices != self.num_vertices:
+            raise GraphError(
+                "vertex count mismatch: "
+                f"{self.num_vertices} vs {other.num_vertices}"
+            )
+        out = self.copy()
+        for u, v, w in other.edges():
+            if not out.has_edge(u, v) or out.weight(u, v) > w:
+                out.add_edge(u, v, w)
+        return out
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    def total_weight(self) -> float:
+        """Sum of all edge weights ``w(G)``."""
+        return sum(w for _, _, w in self.edges())
+
+    def max_degree(self) -> int:
+        """Maximum vertex degree ``Delta(G)`` (0 for an empty graph)."""
+        if not self._adj:
+            return 0
+        return max(len(nbrs) for nbrs in self._adj)
+
+    def degree_sequence(self) -> list[int]:
+        """Degrees of all vertices, indexed by vertex id."""
+        return [len(nbrs) for nbrs in self._adj]
+
+    def max_edge_weight(self) -> float:
+        """Largest edge weight (0.0 for an edgeless graph)."""
+        return max((w for _, _, w in self.edges()), default=0.0)
+
+    def is_subgraph_of(self, other: "Graph") -> bool:
+        """Whether every edge of this graph appears in ``other``."""
+        if other.num_vertices != self.num_vertices:
+            return False
+        return all(other.has_edge(u, v) for u, v, _ in self.edges())
+
+    # ------------------------------------------------------------------
+    # Interop
+    # ------------------------------------------------------------------
+    def to_networkx(self):
+        """Convert to a :class:`networkx.Graph` with ``weight`` attributes."""
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from(self.vertices())
+        g.add_weighted_edges_from(self.edges())
+        return g
+
+    @classmethod
+    def from_networkx(cls, g) -> "Graph":
+        """Build from a :class:`networkx.Graph` with integer nodes 0..n-1.
+
+        Edge weights are read from the ``weight`` attribute (default 1.0).
+        """
+        nodes = sorted(g.nodes())
+        if nodes and (nodes[0] != 0 or nodes[-1] != len(nodes) - 1):
+            raise GraphError(
+                "networkx graph must be labelled with integers 0..n-1"
+            )
+        out = cls(len(nodes))
+        for u, v, data in g.edges(data=True):
+            out.add_edge(u, v, float(data.get("weight", 1.0)))
+        return out
+
+    def to_scipy_csr(self):
+        """Convert to a symmetric :class:`scipy.sparse.csr_matrix`.
+
+        Used by the bulk shortest-path verification in
+        :mod:`repro.graphs.analysis`.
+        """
+        from scipy.sparse import csr_matrix
+
+        rows: list[int] = []
+        cols: list[int] = []
+        vals: list[float] = []
+        for u, v, w in self.edges():
+            rows.extend((u, v))
+            cols.extend((v, u))
+            vals.extend((w, w))
+        n = self.num_vertices
+        return csr_matrix(
+            (np.asarray(vals), (np.asarray(rows), np.asarray(cols))),
+            shape=(n, n),
+        )
+
+    def __repr__(self) -> str:
+        return f"Graph(n={self.num_vertices}, m={self.num_edges})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return (
+            self.num_vertices == other.num_vertices
+            and self._adj == other._adj
+        )
+
+    def __hash__(self) -> int:  # Graphs are mutable; identity hash.
+        return id(self)

@@ -1,0 +1,62 @@
+"""Minimum spanning trees (well, forests).
+
+Theorem 13's lightness guarantee is relative to ``w(MST(G))``; every weight
+experiment needs an MST baseline.  Kruskal is the default; Prim is provided
+as an independent implementation so the test-suite can cross-check the two
+(and both against networkx).
+
+On a disconnected graph both functions return the minimum spanning
+*forest*, which is the right comparison object since any spanner of a
+disconnected graph is disconnected the same way.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from .graph import Graph
+from .unionfind import UnionFind
+
+__all__ = ["kruskal_mst", "prim_mst", "mst_weight"]
+
+
+def kruskal_mst(graph: Graph) -> Graph:
+    """Minimum spanning forest via Kruskal's algorithm.
+
+    Ties are broken by edge ``(u, v)`` ids so output is deterministic.
+    """
+    forest = Graph(graph.num_vertices)
+    dsu = UnionFind(graph.num_vertices)
+    for w, u, v in sorted((w, u, v) for u, v, w in graph.edges()):
+        if dsu.union(u, v):
+            forest.add_edge(u, v, w)
+    return forest
+
+
+def prim_mst(graph: Graph) -> Graph:
+    """Minimum spanning forest via Prim's algorithm (lazy deletion heap)."""
+    forest = Graph(graph.num_vertices)
+    in_tree = [False] * graph.num_vertices
+    for root in graph.vertices():
+        if in_tree[root]:
+            continue
+        in_tree[root] = True
+        heap: list[tuple[float, int, int]] = [
+            (w, root, v) for v, w in graph.neighbor_items(root)
+        ]
+        heapq.heapify(heap)
+        while heap:
+            w, u, v = heapq.heappop(heap)
+            if in_tree[v]:
+                continue
+            in_tree[v] = True
+            forest.add_edge(u, v, w)
+            for x, wx in graph.neighbor_items(v):
+                if not in_tree[x]:
+                    heapq.heappush(heap, (wx, v, x))
+    return forest
+
+
+def mst_weight(graph: Graph) -> float:
+    """Total weight of a minimum spanning forest of ``graph``."""
+    return kruskal_mst(graph).total_weight()

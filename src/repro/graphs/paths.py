@@ -1,0 +1,202 @@
+"""Shortest-path and hop-bounded search primitives.
+
+The relaxed greedy algorithm issues three kinds of path queries:
+
+* full single-source Dijkstra (cluster-cover construction, Section 2.2.1);
+* *bounded* Dijkstra with a distance cutoff -- most queries only need to
+  know whether some path of length ``<= t * |xy|`` exists, so the search
+  may stop as soon as the frontier passes the cutoff (this is the lazy
+  early-exit that makes the sequential algorithm fast);
+* hop-bounded BFS (the distributed algorithm's "gather information from
+  ``<= k`` hops away" primitive, Theorem 9 / Section 3).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+
+from ..exceptions import GraphError, NotReachableError
+from .graph import Graph
+
+__all__ = [
+    "dijkstra",
+    "dijkstra_distance",
+    "bfs_hops",
+    "k_hop_neighborhood",
+    "k_hop_subgraph",
+    "shortest_path_tree",
+]
+
+
+def dijkstra(
+    graph: Graph,
+    source: int,
+    *,
+    cutoff: float | None = None,
+    targets: set[int] | None = None,
+) -> dict[int, float]:
+    """Single-source shortest-path distances from ``source``.
+
+    Parameters
+    ----------
+    graph:
+        Graph with positive edge weights.
+    source:
+        Start vertex.
+    cutoff:
+        If given, vertices at distance strictly greater than ``cutoff``
+        are not reported and the search stops once the frontier exceeds
+        it.  This is the workhorse of every bounded query in the paper
+        (cover radius ``delta*W``, query threshold ``t*|xy|`` ...).
+    targets:
+        If given, the search additionally stops once every target has been
+        settled; only settled vertices are reported.
+
+    Returns
+    -------
+    dict[int, float]
+        Mapping ``vertex -> distance`` for every settled vertex (always
+        includes ``source`` at distance 0).
+    """
+    graph._check_vertex(source)
+    dist: dict[int, float] = {source: 0.0}
+    settled: set[int] = set()
+    remaining = set(targets) if targets is not None else None
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    while heap:
+        d, u = heapq.heappop(heap)
+        if u in settled:
+            continue
+        settled.add(u)
+        if remaining is not None:
+            remaining.discard(u)
+            if not remaining:
+                break
+        for v, w in graph.neighbor_items(u):
+            nd = d + w
+            if cutoff is not None and nd > cutoff:
+                continue
+            if nd < dist.get(v, float("inf")):
+                dist[v] = nd
+                heapq.heappush(heap, (nd, v))
+    if cutoff is not None:
+        return {v: d for v, d in dist.items() if v in settled and d <= cutoff}
+    return {v: d for v, d in dist.items() if v in settled}
+
+
+def dijkstra_distance(
+    graph: Graph, source: int, target: int, *, cutoff: float | None = None
+) -> float:
+    """Distance from ``source`` to ``target``.
+
+    Returns ``inf`` when ``target`` is unreachable, or unreachable within
+    ``cutoff``.  (Callers comparing against a threshold pass the threshold
+    as ``cutoff`` and compare with ``<=``; an ``inf`` then simply fails
+    the comparison, which is exactly the paper's query semantics.)
+    """
+    dist = dijkstra(graph, source, cutoff=cutoff, targets={target})
+    return dist.get(target, float("inf"))
+
+
+def bfs_hops(
+    graph: Graph, source: int, *, max_hops: int | None = None
+) -> dict[int, int]:
+    """Hop counts from ``source`` via BFS.
+
+    Parameters
+    ----------
+    max_hops:
+        If given, exploration stops at this hop radius.
+
+    Returns
+    -------
+    dict[int, int]
+        ``vertex -> hops`` for every vertex within the radius.
+    """
+    graph._check_vertex(source)
+    hops = {source: 0}
+    queue = deque([source])
+    while queue:
+        u = queue.popleft()
+        if max_hops is not None and hops[u] >= max_hops:
+            continue
+        for v in graph.neighbors(u):
+            if v not in hops:
+                hops[v] = hops[u] + 1
+                queue.append(v)
+    return hops
+
+
+def k_hop_neighborhood(graph: Graph, source: int, k: int) -> set[int]:
+    """Vertices within ``k`` hops of ``source`` (including ``source``)."""
+    if k < 0:
+        raise GraphError(f"k must be >= 0, got {k}")
+    return set(bfs_hops(graph, source, max_hops=k))
+
+
+def k_hop_subgraph(graph: Graph, source: int, k: int) -> Graph:
+    """Subgraph induced by the ``k``-hop neighborhood of ``source``.
+
+    This is the "local view" a node obtains after ``k`` communication
+    rounds in the LOCAL model (Section 3); vertex ids are preserved.
+    """
+    return graph.subgraph(k_hop_neighborhood(graph, source, k))
+
+
+def shortest_path_tree(
+    graph: Graph, source: int, *, cutoff: float | None = None
+) -> tuple[dict[int, float], dict[int, int]]:
+    """Dijkstra with parent pointers.
+
+    Returns
+    -------
+    (dist, parent)
+        ``dist`` as in :func:`dijkstra`; ``parent`` maps each settled
+        vertex (except ``source``) to its predecessor on a shortest path.
+    """
+    graph._check_vertex(source)
+    dist: dict[int, float] = {source: 0.0}
+    parent: dict[int, int] = {}
+    settled: set[int] = set()
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    while heap:
+        d, u = heapq.heappop(heap)
+        if u in settled:
+            continue
+        settled.add(u)
+        for v, w in graph.neighbor_items(u):
+            nd = d + w
+            if cutoff is not None and nd > cutoff:
+                continue
+            if nd < dist.get(v, float("inf")):
+                dist[v] = nd
+                parent[v] = u
+                heapq.heappush(heap, (nd, v))
+    dist = {v: d for v, d in dist.items() if v in settled}
+    parent = {v: p for v, p in parent.items() if v in dist}
+    return dist, parent
+
+
+def reconstruct_path(
+    parent: dict[int, int], source: int, target: int
+) -> list[int]:
+    """Vertex sequence from ``source`` to ``target`` using ``parent``.
+
+    Raises
+    ------
+    NotReachableError
+        If ``target`` was not reached by the search that built ``parent``.
+    """
+    if target == source:
+        return [source]
+    if target not in parent:
+        raise NotReachableError(f"no recorded path from {source} to {target}")
+    path = [target]
+    while path[-1] != source:
+        path.append(parent[path[-1]])
+    path.reverse()
+    return path
+
+
+__all__.append("reconstruct_path")

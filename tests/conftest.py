@@ -1,0 +1,52 @@
+"""Shared fixtures: canonical workloads and prebuilt spanners.
+
+Expensive artifacts (graphs, spanner builds) are session-scoped; tests
+must treat them as read-only and copy before mutating.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.relaxed_greedy import RelaxedGreedySpanner
+from repro.geometry.sampling import uniform_points
+from repro.graphs.build import build_udg
+from repro.params import SpannerParams
+
+
+@pytest.fixture(scope="session")
+def params_half() -> SpannerParams:
+    """Canonical parameter bundle for eps = 0.5."""
+    return SpannerParams.from_epsilon(0.5)
+
+
+@pytest.fixture(scope="session")
+def small_points():
+    """60 uniform points, fixed seed -- the small canonical deployment."""
+    return uniform_points(60, seed=424242, expected_degree=7.0)
+
+
+@pytest.fixture(scope="session")
+def small_udg(small_points):
+    """UDG over :func:`small_points` (read-only)."""
+    return build_udg(small_points)
+
+
+@pytest.fixture(scope="session")
+def medium_points():
+    """150 uniform points, fixed seed -- the medium canonical deployment."""
+    return uniform_points(150, seed=77, expected_degree=8.0)
+
+
+@pytest.fixture(scope="session")
+def medium_udg(medium_points):
+    """UDG over :func:`medium_points` (read-only)."""
+    return build_udg(medium_points)
+
+
+@pytest.fixture(scope="session")
+def medium_build(medium_udg, medium_points, params_half):
+    """Relaxed greedy result on the medium deployment (read-only)."""
+    return RelaxedGreedySpanner(params_half).build(
+        medium_udg, medium_points.distance
+    )

@@ -1,0 +1,142 @@
+"""Tests for the synchronous message-passing engine."""
+
+import pytest
+
+from repro.distributed.engine import NodeContext, Protocol, SynchronousNetwork
+from repro.distributed.messages import payload_words
+from repro.exceptions import ProtocolError, SimulationLimitError
+from repro.graphs.graph import Graph
+
+
+class SilentHalt(Protocol):
+    """Every node halts immediately without speaking."""
+
+    name = "silent"
+
+    def on_round(self, ctx, inbox):
+        ctx.halt()
+        return None
+
+
+class PingPong(Protocol):
+    """Node 0 pings; neighbors reply; everyone halts after the reply."""
+
+    name = "ping-pong"
+
+    def on_start(self, ctx):
+        ctx.state["got"] = []
+        if ctx.node == 0:
+            return {v: "ping" for v in ctx.neighbors}
+        return None
+
+    def on_round(self, ctx, inbox):
+        ctx.state["got"].extend(inbox.values())
+        if ctx.node == 0:
+            if inbox:
+                ctx.halt()
+            return None
+        ctx.halt()
+        if inbox:
+            return {0: "pong"} if 0 in ctx.neighbors else None
+        return None
+
+    def output(self, ctx):
+        return list(ctx.state["got"])
+
+
+class Chatty(Protocol):
+    """Never halts: must trip the round limit."""
+
+    name = "chatty"
+
+    def on_round(self, ctx, inbox):
+        return None
+
+
+class BadSender(Protocol):
+    """Sends to a non-neighbor: must be rejected."""
+
+    name = "bad-sender"
+
+    def on_start(self, ctx):
+        return {999: "boo"}
+
+
+def star(n: int) -> Graph:
+    g = Graph(n)
+    for i in range(1, n):
+        g.add_edge(0, i, 1.0)
+    return g
+
+
+class TestEngine:
+    def test_nodes_sorted(self):
+        net = SynchronousNetwork(star(4))
+        assert net.nodes == [0, 1, 2, 3]
+
+    def test_adjacency_mapping_topology(self):
+        net = SynchronousNetwork({5: {7}, 7: {5}})
+        assert net.nodes == [5, 7]
+
+    def test_mapping_rejects_self_loop(self):
+        with pytest.raises(ProtocolError):
+            SynchronousNetwork({1: {1}})
+
+    def test_silent_halt_one_round(self):
+        result = SynchronousNetwork(star(3)).run(SilentHalt())
+        assert result.rounds == 1
+        assert result.messages == 0
+
+    def test_ping_pong_counts(self):
+        result = SynchronousNetwork(star(4)).run(PingPong())
+        # start: 3 pings (round 1); round 2: leaves reply 3 pongs;
+        # round 3: center digests and halts.
+        assert result.messages == 6
+        assert result.rounds == 3
+        assert sorted(result.outputs[0]) == ["pong", "pong", "pong"]
+        assert result.outputs[1] == ["ping"]
+
+    def test_round_limit_enforced(self):
+        net = SynchronousNetwork(star(3), max_rounds=5)
+        with pytest.raises(SimulationLimitError):
+            net.run(Chatty())
+
+    def test_non_neighbor_send_rejected(self):
+        with pytest.raises(ProtocolError, match="non-neighbor"):
+            SynchronousNetwork(star(3)).run(BadSender())
+
+    def test_rejects_bad_max_rounds(self):
+        with pytest.raises(ProtocolError):
+            SynchronousNetwork(star(3), max_rounds=0)
+
+    def test_word_accounting(self):
+        result = SynchronousNetwork(star(3)).run(PingPong())
+        assert result.words >= result.messages  # each payload >= 1 word
+
+
+class TestPayloadWords:
+    def test_atoms(self):
+        assert payload_words(5) == 1
+        assert payload_words(2.5) == 1
+        assert payload_words(None) == 1
+        assert payload_words(True) == 1
+
+    def test_string_by_words(self):
+        assert payload_words("abcdefgh") == 1
+        assert payload_words("abcdefghi") == 2
+
+    def test_containers(self):
+        assert payload_words([1, 2, 3]) == 4
+        assert payload_words({"a": 1}) == 3
+        assert payload_words(frozenset({1})) == 2
+
+    def test_nested(self):
+        assert payload_words([[1], [2]]) == 5
+
+
+class TestNodeContext:
+    def test_halt_flag(self):
+        ctx = NodeContext(node=0, neighbors=(1,))
+        assert not ctx.halted
+        ctx.halt()
+        assert ctx.halted

@@ -1,0 +1,95 @@
+"""Tests for the experiment suite: every experiment runs quick and passes.
+
+These are the executable acceptance criteria of the reproduction: each
+experiment's ``passed`` flag asserts the *shape* of the paper claim it
+reproduces (see DESIGN.md section 4).
+"""
+
+import pytest
+
+from repro.experiments import (
+    EXPERIMENT_REGISTRY,
+    WORKLOAD_NAMES,
+    make_workload,
+    run_all,
+)
+from repro.experiments.e4_rounds import log_star
+from repro.experiments.runner import ExperimentResult, format_table
+from repro.exceptions import GraphError
+
+
+class TestWorkloads:
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_workload_builds(self, name):
+        w = make_workload(name, 40, seed=1)
+        assert w.n == 40
+        assert w.graph.num_vertices == 40
+        assert w.graph.max_edge_weight() <= 1.0 + 1e-9
+
+    def test_unknown_workload(self):
+        with pytest.raises(GraphError):
+            make_workload("nope", 10)
+
+    def test_alpha_policy_strings(self):
+        for policy in ("bernoulli", "decay"):
+            w = make_workload("uniform", 40, seed=2, alpha=0.7, policy=policy)
+            assert w.alpha == 0.7
+
+    def test_determinism(self):
+        a = make_workload("clustered", 50, seed=3)
+        b = make_workload("clustered", 50, seed=3)
+        assert a.graph == b.graph
+
+    def test_3d_dimension(self):
+        assert make_workload("uniform3d", 30, seed=4).dim == 3
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        assert set(EXPERIMENT_REGISTRY) == {
+            "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10",
+            "F", "A", "X1",
+        }
+
+    @pytest.mark.parametrize("name", sorted(EXPERIMENT_REGISTRY))
+    def test_experiment_passes_quick(self, name):
+        """Each experiment's claim-shape holds in quick mode."""
+        result = EXPERIMENT_REGISTRY[name](quick=True, seed=3)
+        assert isinstance(result, ExperimentResult)
+        assert result.rows, f"{name} produced no rows"
+        assert result.passed, f"{name} failed:\n{result.to_text()}"
+
+    def test_run_all_collects_everything(self):
+        results = run_all(quick=True, seed=5)
+        assert len(results) == len(EXPERIMENT_REGISTRY)
+
+
+class TestRendering:
+    def test_format_table_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_format_table_alignment(self):
+        text = format_table([{"a": 1, "b": 2.5}, {"a": 30, "c": True}])
+        lines = text.splitlines()
+        assert lines[0].split() == ["a", "b", "c"]
+        assert "yes" in text
+
+    def test_to_markdown_structure(self):
+        result = ExperimentResult("EX", "claim", rows=[{"x": 1}])
+        md = result.to_markdown()
+        assert "### EX: claim" in md
+        assert "| x |" in md
+        assert "**Verdict: PASS**" in md
+
+    def test_to_text_verdict(self):
+        result = ExperimentResult("EX", "claim", rows=[{"x": 1}], passed=False)
+        assert "verdict: FAIL" in result.to_text()
+
+
+class TestLogStar:
+    def test_values(self):
+        assert log_star(1) == 0
+        assert log_star(2) == 1
+        assert log_star(4) == 2
+        assert log_star(16) == 3
+        assert log_star(65536) == 4

@@ -1,0 +1,94 @@
+"""Tests for the GridIndex fixed-radius query structure."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import GraphError
+from repro.geometry.grid import GridIndex
+from repro.geometry.points import PointSet
+
+
+def brute_neighbors(points: PointSet, idx: int, radius: float) -> list[int]:
+    out = []
+    for other in range(len(points)):
+        if other != idx and points.distance(idx, other) <= radius:
+            out.append(other)
+    return out
+
+
+class TestGridIndex:
+    def test_rejects_nonpositive_width(self):
+        with pytest.raises(GraphError):
+            GridIndex(PointSet([[0.0, 0.0]]), 0.0)
+
+    def test_rejects_negative_radius(self):
+        index = GridIndex(PointSet([[0.0, 0.0]]), 1.0)
+        with pytest.raises(GraphError):
+            index.neighbors_within(0, -1.0)
+
+    def test_simple_pair(self):
+        ps = PointSet([[0.0, 0.0], [0.5, 0.0], [3.0, 0.0]])
+        index = GridIndex(ps, 1.0)
+        assert index.neighbors_within(0, 1.0) == [1]
+
+    def test_boundary_inclusive(self):
+        ps = PointSet([[0.0, 0.0], [1.0, 0.0]])
+        assert GridIndex(ps, 1.0).neighbors_within(0, 1.0) == [1]
+
+    def test_cell_bookkeeping(self):
+        ps = PointSet([[0.1, 0.1], [0.2, 0.2], [5.0, 5.0]])
+        index = GridIndex(ps, 1.0)
+        assert index.num_cells == 2
+        assert sorted(index.points_in_cell(index.cell_of(0))) == [0, 1]
+
+    def test_radius_larger_than_cell(self):
+        rng = np.random.default_rng(5)
+        ps = PointSet(rng.uniform(0, 4, size=(40, 2)))
+        index = GridIndex(ps, 0.5)
+        for u in (0, 7, 21):
+            assert index.neighbors_within(u, 1.7) == brute_neighbors(
+                ps, u, 1.7
+            )
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(2, 25),
+        st.floats(0.1, 3.0),
+        st.integers(0, 10_000),
+    )
+    def test_matches_bruteforce(self, n, radius, seed):
+        """Property: grid query == brute force, all points, any radius."""
+        rng = np.random.default_rng(seed)
+        ps = PointSet(rng.uniform(0, 5, size=(n, 2)))
+        index = GridIndex(ps, cell_width=1.0)
+        for u in range(n):
+            assert index.neighbors_within(u, radius) == brute_neighbors(
+                ps, u, radius
+            )
+
+    def test_all_pairs_within_unique_and_complete(self):
+        rng = np.random.default_rng(9)
+        ps = PointSet(rng.uniform(0, 3, size=(30, 2)))
+        index = GridIndex(ps, 1.0)
+        pairs = list(index.all_pairs_within(1.0))
+        keys = [(u, v) for u, v, _ in pairs]
+        assert len(keys) == len(set(keys))
+        assert all(u < v for u, v in keys)
+        expected = {
+            (u, v)
+            for u in range(30)
+            for v in range(u + 1, 30)
+            if ps.distance(u, v) <= 1.0
+        }
+        assert set(keys) == expected
+
+    def test_works_in_3d(self):
+        rng = np.random.default_rng(3)
+        ps = PointSet(rng.uniform(0, 2, size=(25, 3)))
+        index = GridIndex(ps, 1.0)
+        for u in (0, 12, 24):
+            assert index.neighbors_within(u, 1.0) == brute_neighbors(
+                ps, u, 1.0
+            )

@@ -1,0 +1,90 @@
+"""Tests for edge metrics and the doubling-dimension estimator."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError, ParameterError
+from repro.geometry.doubling import estimate_doubling_dimension
+from repro.geometry.metrics import EnergyMetric, EuclideanMetric
+from repro.geometry.points import PointSet
+
+
+class TestEuclideanMetric:
+    def test_weight_of_length_identity(self):
+        assert EuclideanMetric().weight_of_length(0.7) == 0.7
+
+    def test_weight_uses_distance(self):
+        ps = PointSet([[0.0, 0.0], [3.0, 4.0]])
+        assert EuclideanMetric().weight(ps, 0, 1) == pytest.approx(5.0)
+
+
+class TestEnergyMetric:
+    def test_gamma_two(self):
+        assert EnergyMetric(gamma=2.0).weight_of_length(3.0) == pytest.approx(
+            9.0
+        )
+
+    def test_constant_scales(self):
+        assert EnergyMetric(gamma=2.0, c=2.0).weight_of_length(
+            3.0
+        ) == pytest.approx(18.0)
+
+    def test_monotone_in_length(self):
+        m = EnergyMetric(gamma=3.0)
+        assert m.weight_of_length(0.5) < m.weight_of_length(0.6)
+
+    def test_rejects_gamma_below_one(self):
+        with pytest.raises(ParameterError):
+            EnergyMetric(gamma=0.5)
+
+    def test_rejects_nonpositive_c(self):
+        with pytest.raises(ParameterError):
+            EnergyMetric(c=0.0)
+
+    def test_weight_on_points(self):
+        ps = PointSet([[0.0, 0.0], [0.0, 2.0]])
+        assert EnergyMetric(gamma=2.0).weight(ps, 0, 1) == pytest.approx(4.0)
+
+
+class TestDoublingDimension:
+    def test_line_metric_has_dimension_near_one(self):
+        xs = np.linspace(0, 10, 60)
+        dist = np.abs(xs[:, None] - xs[None, :])
+        report = estimate_doubling_dimension(dist, seed=0)
+        assert report.dimension <= 2.5  # 1-D line: tiny doubling dimension
+
+    def test_plane_metric_small_constant(self):
+        rng = np.random.default_rng(0)
+        pts = rng.uniform(0, 10, size=(80, 2))
+        diff = pts[:, None, :] - pts[None, :, :]
+        dist = np.sqrt((diff**2).sum(-1))
+        report = estimate_doubling_dimension(dist, seed=0)
+        assert report.dimension <= 5.0  # plane: ~2 plus greedy slack
+
+    def test_star_metric_large(self):
+        """A uniform metric (all pairs distance 1) needs one ball per
+        point at radius 1 -- doubling dimension ~ log2(n)."""
+        n = 32
+        dist = np.ones((n, n)) - np.eye(n)
+        report = estimate_doubling_dimension(dist, radii=[1.0], seed=0)
+        assert report.max_cover_size == n
+
+    def test_handles_disconnected_inf(self):
+        dist = np.array(
+            [[0.0, 1.0, np.inf], [1.0, 0.0, np.inf], [np.inf, np.inf, 0.0]]
+        )
+        report = estimate_doubling_dimension(dist, radii=[1.0], seed=0)
+        assert report.max_cover_size <= 2
+
+    def test_rejects_nonsquare(self):
+        with pytest.raises(GraphError):
+            estimate_doubling_dimension(np.zeros((2, 3)))
+
+    def test_rejects_bad_radius(self):
+        dist = np.array([[0.0, 1.0], [1.0, 0.0]])
+        with pytest.raises(GraphError):
+            estimate_doubling_dimension(dist, radii=[-1.0])
+
+    def test_single_point(self):
+        report = estimate_doubling_dimension(np.zeros((1, 1)))
+        assert report.max_cover_size == 1 and report.dimension == 0.0

@@ -1,0 +1,169 @@
+"""Tests for the leapfrog property checker (inequality (6))."""
+
+import math
+
+import pytest
+
+from repro.core.leapfrog import (
+    check_subset,
+    leapfrog_holds_for_sequence,
+    partition_by_length,
+    sample_leapfrog,
+)
+from repro.exceptions import GraphError
+from repro.geometry.points import PointSet
+
+
+@pytest.fixture()
+def far_pair_points():
+    """Two parallel unit segments, far apart: leapfrog trivially holds."""
+    return PointSet(
+        [[0.0, 0.0], [1.0, 0.0], [0.0, 10.0], [1.0, 10.0]]
+    )
+
+
+@pytest.fixture()
+def tight_pair_points():
+    """Two parallel unit segments, very close: replacing one by the
+    other is cheap -- leapfrog with large t2 must fail."""
+    return PointSet(
+        [[0.0, 0.0], [1.0, 0.0], [0.0, 0.001], [1.0, 0.001]]
+    )
+
+
+class TestSequenceCheck:
+    def test_far_segments_positive_slack(self, far_pair_points):
+        d = far_pair_points.distance
+        slack = leapfrog_holds_for_sequence(
+            [(0, 1), (2, 3)], [1.0, 1.0], d, t2=1.2, t=1.5
+        )
+        assert slack > 0
+
+    def test_tight_segments_negative_slack(self, tight_pair_points):
+        d = tight_pair_points.distance
+        # RHS = |u2v2| + t*(|v1u2| + |v2u1|) ~ 1 + 1.5*(~1.41 + ~1.41)...
+        # Use the aligned orientation where hops are ~0.001.
+        slack = leapfrog_holds_for_sequence(
+            [(0, 1), (3, 2)], [1.0, 1.0], d, t2=1.2, t=1.5
+        )
+        # hops: dist(v1=1, u2=3)=0.001, dist(v2=2, u1=0)=0.001
+        assert slack == pytest.approx(1.0 + 1.5 * 0.002 - 1.2, abs=1e-6)
+        assert slack < 0
+
+    def test_rejects_mismatched_lengths(self, far_pair_points):
+        with pytest.raises(GraphError):
+            leapfrog_holds_for_sequence(
+                [(0, 1)], [1.0, 2.0], far_pair_points.distance, 1.2, 1.5
+            )
+
+
+class TestCheckSubset:
+    def test_finds_violation_in_tight_pair(self, tight_pair_points):
+        slack, witness, count = check_subset(
+            [(0, 1, 1.0), (2, 3, 1.0)],
+            tight_pair_points.distance,
+            t2=1.2,
+            t=1.5,
+        )
+        assert slack < 0 and witness is not None
+        assert count > 0
+
+    def test_far_pair_no_violation(self, far_pair_points):
+        slack, witness, _ = check_subset(
+            [(0, 1, 1.0), (2, 3, 1.0)],
+            far_pair_points.distance,
+            t2=1.2,
+            t=1.5,
+        )
+        assert slack > 0 and witness is None
+
+    def test_only_longest_first(self, far_pair_points):
+        """Arrangements starting with a shorter edge are skipped."""
+        _, _, count_equal = check_subset(
+            [(0, 1, 1.0), (2, 3, 1.0)], far_pair_points.distance, 1.2, 1.5
+        )
+        _, _, count_mixed = check_subset(
+            [(0, 1, 1.0), (2, 3, 0.5)], far_pair_points.distance, 1.2, 1.5
+        )
+        assert count_mixed < count_equal
+
+    def test_rejects_bad_t2(self, far_pair_points):
+        with pytest.raises(GraphError):
+            check_subset(
+                [(0, 1, 1.0)], far_pair_points.distance, t2=0.5, t=1.5
+            )
+
+
+class TestPartition:
+    def test_f0_short_edges(self):
+        classes = partition_by_length(
+            [(0, 1, 0.3), (1, 2, 0.9)], alpha=0.5, beta=1.4
+        )
+        assert [e[2] for e in classes[0]] == [0.3]
+        assert 0.9 in [e[2] for c, es in classes.items() if c > 0 for e in es]
+
+    def test_class_boundaries(self):
+        classes = partition_by_length(
+            [(0, 1, 0.5), (1, 2, 0.69), (2, 3, 0.97)], alpha=0.5, beta=1.4
+        )
+        assert {e[2] for e in classes[0]} == {0.5}
+        assert {e[2] for e in classes[1]} == {0.69}
+        assert {e[2] for e in classes[2]} == {0.97}
+
+    def test_every_edge_in_exactly_one_class(self):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        edges = [(i, i + 1, float(rng.uniform(0.01, 1.0))) for i in range(100)]
+        classes = partition_by_length(edges, alpha=0.4, beta=1.3)
+        assert sum(len(v) for v in classes.values()) == 100
+        for j, members in classes.items():
+            lo = 0.0 if j == 0 else 0.4 * 1.3 ** (j - 1)
+            hi = 0.4 if j == 0 else 0.4 * 1.3**j
+            for _, _, w in members:
+                assert lo < w <= hi + 1e-12
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(GraphError):
+            partition_by_length([], alpha=0.0, beta=1.4)
+        with pytest.raises(GraphError):
+            partition_by_length([], alpha=0.5, beta=1.0)
+
+
+class TestSampleLeapfrog:
+    def test_spanner_output_passes(self, medium_build, medium_points):
+        """Theorem 13's engine: the real spanner's edges satisfy the
+        leapfrog property on sampled subsets."""
+        params = medium_build.params
+        report = sample_leapfrog(
+            list(medium_build.spanner.edges()),
+            medium_points.distance,
+            t2=min(1.05, (params.t_delta + 1.0) / 2.0),
+            t=params.t,
+            alpha=params.alpha,
+            beta=params.beta,
+            max_subset_size=3,
+            num_samples=60,
+            seed=3,
+        )
+        assert report.holds, f"violation: {report.violation}"
+        assert report.num_subsets > 0
+
+    def test_dense_random_edges_fail(self):
+        """Anti-test: arbitrary dense edge sets are NOT leapfrog --
+        the checker must detect that."""
+        import numpy as np
+
+        rng = np.random.default_rng(1)
+        pts = PointSet(rng.uniform(0, 1.2, size=(14, 2)))
+        edges = [
+            (u, v, pts.distance(u, v))
+            for u in range(14)
+            for v in range(u + 1, 14)
+            if pts.distance(u, v) <= 1.0
+        ]
+        report = sample_leapfrog(
+            edges, pts.distance, t2=1.4, t=1.5,
+            alpha=1.0, beta=1.5, max_subset_size=3, num_samples=80, seed=2,
+        )
+        assert not report.holds

@@ -1,0 +1,111 @@
+"""Property-based end-to-end tests: Theorem 10 under hypothesis control.
+
+Hypothesis drives the instance generator across sizes, densities,
+epsilons, alphas and gray-zone adversaries; the property is the paper's
+headline guarantee, checked exactly.  These tests are the closest thing
+to a proof the test-suite offers: any counterexample hypothesis finds is
+minimized and replayed forever after via its database.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.relaxed_greedy import build_spanner
+from repro.core.seq_greedy import seq_greedy
+from repro.extensions.doubling_metric import (
+    build_metric_spanner,
+    build_metric_ubg,
+    lp_metric,
+)
+from repro.geometry.sampling import uniform_points
+from repro.graphs.analysis import lightness, measure_stretch
+from repro.graphs.build import BernoulliPolicy, build_qubg
+
+SLOW = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@SLOW
+@given(
+    n=st.integers(10, 70),
+    seed=st.integers(0, 10_000),
+    eps=st.sampled_from([0.3, 0.5, 1.0, 2.5]),
+    degree=st.floats(3.0, 12.0),
+)
+def test_theorem10_uniform_udg(n, seed, eps, degree):
+    """Stretch <= 1+eps on arbitrary uniform UDGs."""
+    points = uniform_points(n, seed=seed, expected_degree=degree)
+    graph = build_qubg(points, 1.0)
+    result = build_spanner(graph, points.distance, eps)
+    stretch = measure_stretch(graph, result.spanner).max_stretch
+    assert stretch <= (1.0 + eps) * (1.0 + 1e-9)
+
+
+@SLOW
+@given(
+    n=st.integers(10, 60),
+    seed=st.integers(0, 10_000),
+    alpha=st.floats(0.4, 1.0),
+    p=st.floats(0.0, 1.0),
+)
+def test_theorem10_qubg_adversary(n, seed, alpha, p):
+    """Stretch holds for every alpha and Bernoulli gray-zone adversary."""
+    points = uniform_points(n, seed=seed, expected_degree=7.0)
+    graph = build_qubg(points, alpha, policy=BernoulliPolicy(p, seed=seed))
+    result = build_spanner(graph, points.distance, 0.5, alpha=alpha)
+    stretch = measure_stretch(graph, result.spanner).max_stretch
+    assert stretch <= 1.5 * (1.0 + 1e-9)
+
+
+@SLOW
+@given(n=st.integers(10, 50), seed=st.integers(0, 10_000))
+def test_relaxed_never_denser_than_input(n, seed):
+    """Output is a subgraph: never more edges than the input."""
+    points = uniform_points(n, seed=seed)
+    graph = build_qubg(points, 1.0)
+    result = build_spanner(graph, points.distance, 0.5)
+    assert result.spanner.num_edges <= graph.num_edges
+    assert result.spanner.is_subgraph_of(graph)
+
+
+@SLOW
+@given(n=st.integers(12, 50), seed=st.integers(0, 10_000))
+def test_lightness_band(n, seed):
+    """Theorem 13's measured form: lightness in a small constant band."""
+    points = uniform_points(n, seed=seed, expected_degree=8.0)
+    graph = build_qubg(points, 1.0)
+    result = build_spanner(graph, points.distance, 0.5)
+    assert lightness(graph, result.spanner) <= 5.0
+
+
+@SLOW
+@given(
+    n=st.integers(10, 40),
+    seed=st.integers(0, 10_000),
+    p=st.sampled_from([1.0, 2.0, float("inf")]),
+)
+def test_metric_variant_stretch(n, seed, p):
+    """The angle-free variant certifies stretch on any l_p metric."""
+    points = uniform_points(n, seed=seed, expected_degree=7.0)
+    dist = lp_metric(points.coords, p)
+    graph = build_metric_ubg(n, dist)
+    result = build_metric_spanner(graph, dist, 0.5)
+    stretch = measure_stretch(graph, result.spanner).max_stretch
+    assert stretch <= 1.5 * (1.0 + 1e-9)
+
+
+@SLOW
+@given(n=st.integers(8, 40), seed=st.integers(0, 10_000))
+def test_relaxed_vs_seq_greedy_same_ballpark(n, seed):
+    """Relaxed greedy's output is within a constant factor of classic
+    SEQ-GREEDY in edge count (it is the same algorithm up to laziness)."""
+    points = uniform_points(n, seed=seed, expected_degree=7.0)
+    graph = build_qubg(points, 1.0)
+    relaxed = build_spanner(graph, points.distance, 0.5).spanner
+    greedy = seq_greedy(graph, 1.5)
+    if greedy.num_edges:
+        assert relaxed.num_edges <= 2 * greedy.num_edges + 4

@@ -1,0 +1,145 @@
+"""Tests for mutually-redundant edge elimination (Section 2.2.5)."""
+
+import pytest
+
+from repro.core.cluster_graph import ClusterGraph
+from repro.core.cover import build_cluster_cover
+from repro.core.redundancy import (
+    build_conflict_graph,
+    find_redundant_pairs,
+    greedy_mis,
+    remove_redundant_edges,
+)
+from repro.exceptions import GraphError
+from repro.graphs.graph import Graph
+
+
+def make_h(edges, n) -> ClusterGraph:
+    """Wrap a hand-built H graph (cover content irrelevant for these tests)."""
+    h = Graph(n)
+    for u, v, w in edges:
+        h.add_edge(u, v, w)
+    cover = build_cluster_cover(h, 0.0)
+    return ClusterGraph(
+        graph=h, cover=cover, w_prev=1.0, num_intra_edges=0, num_inter_edges=0
+    )
+
+
+class TestGreedyMis:
+    def test_empty(self):
+        assert greedy_mis({}) == set()
+
+    def test_independent_and_maximal(self):
+        adjacency = {
+            (0, 1): {(1, 2)},
+            (1, 2): {(0, 1), (2, 3)},
+            (2, 3): {(1, 2)},
+        }
+        mis = greedy_mis(adjacency)
+        for node in mis:
+            assert not adjacency[node] & mis
+        for node in adjacency:
+            assert node in mis or adjacency[node] & mis
+
+    def test_prefers_low_ids(self):
+        adjacency = {(0, 1): {(5, 6)}, (5, 6): {(0, 1)}}
+        assert greedy_mis(adjacency) == {(0, 1)}
+
+
+class TestFindRedundantPairs:
+    def test_parallel_close_edges_are_redundant(self):
+        """Two nearly-parallel edges with tiny H-connections between
+        endpoints satisfy both conditions."""
+        # u=0, v=1 and u'=2, v'=3; H gives sp(0,2)=sp(1,3)=0.01.
+        h = make_h([(0, 2, 0.01), (1, 3, 0.01)], 4)
+        added = [(0, 1, 1.0), (2, 3, 1.0)]
+        pairs = find_redundant_pairs(added, h, t1=1.2, w_cur=1.0)
+        assert len(pairs) == 1
+
+    def test_far_edges_not_redundant(self):
+        h = make_h([(0, 2, 3.0), (1, 3, 3.0)], 4)
+        added = [(0, 1, 1.0), (2, 3, 1.0)]
+        assert not find_redundant_pairs(added, h, t1=1.2, w_cur=1.0)
+
+    def test_disconnected_endpoints_not_redundant(self):
+        h = make_h([], 4)
+        added = [(0, 1, 1.0), (2, 3, 1.0)]
+        assert not find_redundant_pairs(added, h, t1=1.2, w_cur=1.0)
+
+    def test_opposite_orientation_detected(self):
+        """Pairing (u,v') and (v,u') must also be checked (d_J takes the
+        min of the two pairings)."""
+        h = make_h([(0, 3, 0.01), (1, 2, 0.01)], 4)
+        added = [(0, 1, 1.0), (2, 3, 1.0)]
+        pairs = find_redundant_pairs(added, h, t1=1.2, w_cur=1.0)
+        assert len(pairs) == 1
+
+    def test_one_sided_condition_insufficient(self):
+        """Condition must hold for *both* edges: a cheap bypass for one
+        edge only does not make the pair mutually redundant."""
+        # sp(0,2)=0.01 but sp(1,3)=5 -> neither condition can hold.
+        h = make_h([(0, 2, 0.01), (1, 3, 5.0)], 4)
+        added = [(0, 1, 1.0), (2, 3, 1.0)]
+        assert not find_redundant_pairs(added, h, t1=1.2, w_cur=5.0)
+
+    def test_rejects_bad_t1(self):
+        h = make_h([], 2)
+        with pytest.raises(GraphError):
+            find_redundant_pairs([(0, 1, 1.0)], h, t1=1.0, w_cur=1.0)
+
+    def test_empty_added(self):
+        h = make_h([], 2)
+        assert find_redundant_pairs([], h, t1=1.2, w_cur=1.0) == []
+
+
+class TestConflictGraphAndRemoval:
+    def test_conflict_graph_symmetric(self):
+        pairs = [(((0, 1, 1.0)), ((2, 3, 1.0)))]
+        adjacency = build_conflict_graph(pairs)
+        assert adjacency[(0, 1)] == {(2, 3)}
+        assert adjacency[(2, 3)] == {(0, 1)}
+
+    def test_removal_keeps_counterpart(self):
+        """Every removed edge must keep a surviving redundant partner
+        (the Theorem 10 safety condition)."""
+        h = make_h([(0, 2, 0.01), (1, 3, 0.01)], 4)
+        spanner = Graph(4)
+        spanner.add_edge(0, 1, 1.0)
+        spanner.add_edge(2, 3, 1.0)
+        added = [(0, 1, 1.0), (2, 3, 1.0)]
+        outcome = remove_redundant_edges(
+            spanner, added, h, t1=1.2, w_cur=1.0
+        )
+        assert len(outcome.removed) == 1
+        assert len(outcome.kept) == 1
+        removed_key = (outcome.removed[0][0], outcome.removed[0][1])
+        kept_keys = {(u, v) for u, v, _ in outcome.kept}
+        assert outcome.conflict_graph[removed_key] & kept_keys
+        # spanner mutated accordingly
+        assert spanner.num_edges == 1
+
+    def test_no_pairs_no_removal(self):
+        h = make_h([], 4)
+        spanner = Graph(4)
+        spanner.add_edge(0, 1, 1.0)
+        outcome = remove_redundant_edges(
+            spanner, [(0, 1, 1.0)], h, t1=1.2, w_cur=1.0
+        )
+        assert not outcome.removed and spanner.num_edges == 1
+
+    def test_custom_mis_function_used(self):
+        """The MIS hook decides who survives."""
+        h = make_h([(0, 2, 0.01), (1, 3, 0.01)], 4)
+        spanner = Graph(4)
+        spanner.add_edge(0, 1, 1.0)
+        spanner.add_edge(2, 3, 1.0)
+        added = [(0, 1, 1.0), (2, 3, 1.0)]
+
+        def keep_high(adjacency):
+            return {max(adjacency)}
+
+        outcome = remove_redundant_edges(
+            spanner, added, h, t1=1.2, w_cur=1.0, mis=keep_high
+        )
+        assert outcome.removed[0][:2] == (0, 1)
+        assert spanner.has_edge(2, 3)

@@ -1,0 +1,133 @@
+"""Tests for routing over controlled topologies."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.geometry.points import PointSet
+from repro.geometry.sampling import uniform_points
+from repro.graphs.build import build_udg
+from repro.graphs.graph import Graph
+from repro.routing import (
+    RoutingTable,
+    greedy_delivery_report,
+    greedy_geographic_route,
+)
+
+
+@pytest.fixture(scope="module")
+def spanner_setup(medium_udg, medium_points, medium_build):
+    return medium_udg, medium_points, medium_build.spanner
+
+
+class TestRoutingTable:
+    def test_next_hop_on_path(self):
+        g = Graph(4)
+        for i in range(3):
+            g.add_edge(i, i + 1, 1.0)
+        table = RoutingTable(g)
+        assert table.next_hop(0, 3) == 1
+        assert table.next_hop(0, 0) == 0
+        assert table.next_hop(3, 0) == 2
+
+    def test_unreachable_none(self):
+        g = Graph(3)
+        g.add_edge(0, 1, 1.0)
+        table = RoutingTable(g)
+        assert table.next_hop(0, 2) is None
+        route = table.route(0, 2)
+        assert not route.delivered and route.cost == float("inf")
+
+    def test_route_cost_matches_dijkstra(self, spanner_setup):
+        _, _, spanner = spanner_setup
+        from repro.graphs.paths import dijkstra
+
+        table = RoutingTable(spanner)
+        dist = dijkstra(spanner, 0)
+        for target in list(dist)[:15]:
+            route = table.route(0, target)
+            assert route.delivered
+            assert route.cost == pytest.approx(dist[target])
+
+    def test_route_stretch_bounded_on_spanner(self, spanner_setup):
+        """Operational Theorem 10: every route within t of the optimum."""
+        base, _, spanner = spanner_setup
+        table = RoutingTable(spanner)
+        checked = 0
+        for u, v, _ in list(base.edges())[:40]:
+            s = table.route_stretch(base, u, v)
+            assert s <= 1.5 * (1 + 1e-9)
+            checked += 1
+        assert checked > 0
+
+    def test_route_stretch_size_mismatch(self):
+        with pytest.raises(GraphError):
+            RoutingTable(Graph(2)).route_stretch(Graph(3), 0, 1)
+
+
+class TestGreedyGeographic:
+    def test_straight_line_delivers(self):
+        points = PointSet([[0.0, 0.0], [0.5, 0.0], [1.0, 0.0]])
+        g = build_udg(points, radius=0.6)
+        route = greedy_geographic_route(g, points, 0, 2)
+        assert route.delivered and route.path == (0, 1, 2)
+
+    def test_local_minimum_fails(self):
+        """A concave 'wall': greedy stalls at the dead end."""
+        # Target right of a gap; node 1 is closest to target but has no
+        # neighbor closer than itself.
+        points = PointSet(
+            [[0.0, 0.0], [0.9, 0.0], [0.2, 0.9], [1.1, 0.9], [2.0, 0.0]]
+        )
+        g = Graph(5)
+        g.add_edge(0, 1, points.distance(0, 1))
+        g.add_edge(0, 2, points.distance(0, 2))
+        g.add_edge(2, 3, points.distance(2, 3))
+        g.add_edge(3, 4, points.distance(3, 4))
+        route = greedy_geographic_route(g, points, 0, 4)
+        assert not route.delivered
+        assert route.path[-1] == 1  # stuck at the greedy dead end
+
+    def test_source_equals_target(self):
+        points = PointSet([[0.0, 0.0], [0.5, 0.0]])
+        g = build_udg(points)
+        route = greedy_geographic_route(g, points, 0, 0)
+        assert route.delivered and route.path == (0,)
+
+    def test_hop_budget_respected(self):
+        points = PointSet([[float(i) * 0.5, 0.0] for i in range(10)])
+        g = build_udg(points, radius=0.6)
+        route = greedy_geographic_route(g, points, 0, 9, max_hops=3)
+        assert not route.delivered
+
+
+class TestDeliveryReport:
+    def test_delivery_on_udg(self):
+        """Greedy delivers often -- but not always -- on a UDG: coverage
+        voids create local minima even in the full radio graph (measured
+        ~78% here), which is precisely why face-routing fallbacks and
+        the planarity requirements in the paper's related work exist."""
+        points = uniform_points(80, seed=71, expected_degree=10.0)
+        g = build_udg(points)
+        report = greedy_delivery_report(g, points, num_pairs=40, seed=1)
+        assert report.attempted == 40
+        assert 0.6 <= report.delivery_rate <= 1.0
+        assert report.mean_stretch >= 1.0
+
+    def test_spanner_vs_udg_delivery(self, spanner_setup):
+        """Sparsifying reduces greedy delivery (the planarity trade-off
+        the paper's related work discusses); report quantifies it."""
+        base, points, spanner = spanner_setup
+        base_report = greedy_delivery_report(
+            base, points, num_pairs=40, seed=2
+        )
+        span_report = greedy_delivery_report(
+            spanner, points, num_pairs=40, seed=2
+        )
+        assert 0.0 <= span_report.delivery_rate <= 1.0
+        assert base_report.delivery_rate >= span_report.delivery_rate - 0.35
+
+    def test_rejects_bad_pairs(self):
+        points = PointSet([[0.0, 0.0], [0.5, 0.0]])
+        g = build_udg(points)
+        with pytest.raises(GraphError):
+            greedy_delivery_report(g, points, num_pairs=0)

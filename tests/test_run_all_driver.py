@@ -1,0 +1,23 @@
+"""Tests for the experiment-suite CLI driver."""
+
+from repro.experiments.run_all import main
+
+
+class TestRunAllDriver:
+    def test_single_experiment_text(self, capsys):
+        assert main(["--quick", "--only", "E7"]) == 0
+        out = capsys.readouterr().out
+        assert "[E7]" in out and "verdict: PASS" in out
+
+    def test_single_experiment_markdown(self, capsys):
+        assert main(["--quick", "--only", "E7", "--markdown"]) == 0
+        out = capsys.readouterr().out
+        assert "### E7" in out and "**Verdict: PASS**" in out
+
+    def test_unknown_id_errors(self, capsys):
+        assert main(["--only", "E99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_seed_forwarded(self, capsys):
+        assert main(["--quick", "--only", "E2", "--seed", "9"]) == 0
+        assert "Theorem 11" in capsys.readouterr().out

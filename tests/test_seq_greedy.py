@@ -1,0 +1,114 @@
+"""Tests for SEQ-GREEDY (the classical greedy spanner)."""
+
+import numpy as np
+import pytest
+
+from repro.core.seq_greedy import GreedyStats, greedy_spanner_of_clique, seq_greedy
+from repro.exceptions import GraphError
+from repro.geometry.points import PointSet
+from repro.graphs.analysis import lightness, measure_stretch
+from repro.graphs.graph import Graph
+
+
+def complete_euclidean(points: PointSet) -> Graph:
+    g = Graph(len(points))
+    for u in range(len(points)):
+        for v in range(u + 1, len(points)):
+            g.add_edge(u, v, points.distance(u, v))
+    return g
+
+
+class TestSeqGreedy:
+    def test_rejects_t_below_one(self):
+        with pytest.raises(GraphError):
+            seq_greedy(Graph(2), 0.5)
+
+    def test_t_one_keeps_shortest_paths_exact(self):
+        """With t=1 the spanner preserves all distances exactly."""
+        rng = np.random.default_rng(0)
+        points = PointSet(rng.uniform(0, 2, size=(12, 2)))
+        g = complete_euclidean(points)
+        spanner = seq_greedy(g, 1.0)
+        assert measure_stretch(g, spanner).max_stretch <= 1.0 + 1e-9
+
+    @pytest.mark.parametrize("t", [1.1, 1.5, 2.0, 3.0])
+    def test_output_is_t_spanner(self, t):
+        rng = np.random.default_rng(3)
+        points = PointSet(rng.uniform(0, 3, size=(25, 2)))
+        g = complete_euclidean(points)
+        spanner = seq_greedy(g, t)
+        assert measure_stretch(g, spanner).max_stretch <= t * (1 + 1e-9)
+
+    def test_larger_t_gives_sparser_output(self):
+        rng = np.random.default_rng(4)
+        points = PointSet(rng.uniform(0, 3, size=(30, 2)))
+        g = complete_euclidean(points)
+        assert seq_greedy(g, 2.0).num_edges <= seq_greedy(g, 1.2).num_edges
+
+    def test_constant_degree_on_complete_graph(self):
+        """The classical guarantee: greedy spanners of Euclidean cliques
+        have O(1) degree (constant depends on t)."""
+        rng = np.random.default_rng(5)
+        points = PointSet(rng.uniform(0, 4, size=(60, 2)))
+        spanner = seq_greedy(complete_euclidean(points), 1.5)
+        assert spanner.max_degree() <= 12
+
+    def test_lightweight_on_complete_graph(self):
+        rng = np.random.default_rng(6)
+        points = PointSet(rng.uniform(0, 4, size=(60, 2)))
+        g = complete_euclidean(points)
+        assert lightness(g, seq_greedy(g, 1.5)) <= 4.0
+
+    def test_tree_input_returned_whole(self):
+        """A tree has no redundant edges: greedy keeps everything."""
+        g = Graph(5)
+        for i in range(4):
+            g.add_edge(i, i + 1, 1.0 + 0.1 * i)
+        spanner = seq_greedy(g, 1.5)
+        assert spanner.num_edges == 4
+
+    def test_stats_populated(self):
+        rng = np.random.default_rng(7)
+        points = PointSet(rng.uniform(0, 2, size=(10, 2)))
+        g = complete_euclidean(points)
+        stats = GreedyStats()
+        spanner = seq_greedy(g, 1.5, stats=stats)
+        assert stats.num_edges_examined == g.num_edges
+        assert stats.num_queries == g.num_edges
+        assert stats.num_edges_added == spanner.num_edges
+        assert stats.num_settled >= stats.num_queries  # source always settled
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(8)
+        points = PointSet(rng.uniform(0, 2, size=(15, 2)))
+        g = complete_euclidean(points)
+        assert seq_greedy(g, 1.4) == seq_greedy(g, 1.4)
+
+    def test_empty_graph(self):
+        assert seq_greedy(Graph(0), 1.5).num_edges == 0
+        assert seq_greedy(Graph(5), 1.5).num_edges == 0
+
+
+class TestGreedySpannerOfClique:
+    def test_spans_members_only(self):
+        points = PointSet([[0.0, 0.0], [0.1, 0.0], [0.2, 0.0], [5.0, 5.0]])
+        spanner = greedy_spanner_of_clique(
+            [0, 1, 2], 4, points.distance, 1.5
+        )
+        assert spanner.num_vertices == 4
+        assert spanner.degree(3) == 0
+        # members connected
+        assert spanner.has_edge(0, 1) and spanner.has_edge(1, 2)
+
+    def test_collinear_chain_skips_long_edge(self):
+        points = PointSet([[0.0, 0.0], [0.1, 0.0], [0.2, 0.0]])
+        spanner = greedy_spanner_of_clique(
+            [0, 1, 2], 3, points.distance, 1.5
+        )
+        # 0->2 via 1 has stretch exactly 1: direct edge unnecessary.
+        assert not spanner.has_edge(0, 2)
+
+    def test_single_member(self):
+        points = PointSet([[0.0, 0.0]])
+        spanner = greedy_spanner_of_clique([0], 1, points.distance, 1.5)
+        assert spanner.num_edges == 0

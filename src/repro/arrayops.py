@@ -1,0 +1,35 @@
+"""Small shared numpy idioms used across the batch pipelines.
+
+These are the vectorized building blocks that would otherwise be
+copy-pasted between the grid index, the builders and the baselines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["run_expand", "offset_cube"]
+
+
+def run_expand(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Concatenate the integer ranges ``[starts[i], starts[i] + counts[i])``.
+
+    Standard repeat/arange trick: expands variable-length runs without a
+    Python loop.  Returns an empty int64 array when every count is zero.
+    """
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    offsets = np.concatenate(
+        [np.zeros(1, dtype=np.int64), np.cumsum(counts)[:-1]]
+    )
+    within = np.arange(total, dtype=np.int64) - np.repeat(offsets, counts)
+    return np.repeat(starts, counts) + within
+
+
+def offset_cube(dim: int, reach: int) -> np.ndarray:
+    """All integer offsets in ``[-reach, reach]^dim`` as a ``(k, dim)``
+    int64 array (row-major enumeration, includes the zero offset)."""
+    side = np.arange(-reach, reach + 1, dtype=np.int64)
+    grids = np.meshgrid(*([side] * dim), indexing="ij")
+    return np.stack([g.ravel() for g in grids], axis=1)

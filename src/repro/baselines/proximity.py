@@ -18,46 +18,80 @@ metric) and cost ``O(m * max_degree)`` by only testing witnesses adjacent
 to an endpoint -- a witness inside either region is always within range
 of both endpoints in a UDG, so restricting to neighbors is exact for
 UDG-derived base graphs.
+
+The witness tests are vectorized: the (edge, witness) incidence is
+expanded once into flat numpy arrays via the base graph's CSR adjacency,
+every disk/lune membership is evaluated in one batch, and surviving edges
+are bulk-inserted.
 """
 
 from __future__ import annotations
 
+import numpy as np
+
+from ..arrayops import run_expand
 from ..geometry.points import PointSet
 from ..graphs.graph import Graph
 
 __all__ = ["gabriel_graph", "relative_neighborhood_graph"]
 
 
+def _edge_witnesses(
+    base: Graph,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Flattened (edge, witness) incidence arrays.
+
+    Returns ``(eu, ev, ew, edge_of, z)``: the base edge arrays plus, for
+    every edge ``i`` and every neighbor ``z`` of its first endpoint, one
+    flat row with ``edge_of == i`` and witness vertex ``z``.
+    """
+    eu, ev, ew = base.edges_arrays()
+    indptr, indices, _ = base.adjacency_arrays()
+    deg = indptr[eu + 1] - indptr[eu]
+    edge_of = np.repeat(np.arange(eu.shape[0], dtype=np.int64), deg)
+    z = indices[run_expand(indptr[eu], deg)]
+    return eu, ev, ew, edge_of, z
+
+
 def gabriel_graph(base: Graph, points: PointSet) -> Graph:
     """Gabriel graph restricted to the edges of ``base``."""
     out = Graph(base.num_vertices)
-    for u, v, w in base.edges():
-        mid = (points[u] + points[v]) / 2.0
-        radius_sq = w * w / 4.0
-        blocked = False
-        for z in base.neighbors(u):
-            if z == v:
-                continue
-            diff = points[z] - mid
-            if float(diff @ diff) < radius_sq - 1e-15:
-                blocked = True
-                break
-        if not blocked:
-            out.add_edge(u, v, w)
+    eu, ev, ew, edge_of, z = _edge_witnesses(base)
+    if eu.shape[0] == 0:
+        return out
+    coords = points.coords
+    mid = (coords[eu] + coords[ev]) / 2.0
+    radius_sq = ew * ew / 4.0
+    diff = coords[z] - mid[edge_of]
+    inside = np.einsum("ij,ij->i", diff, diff) < radius_sq[edge_of] - 1e-15
+    inside &= z != ev[edge_of]
+    blocked = (
+        np.bincount(
+            edge_of[inside], minlength=eu.shape[0]
+        )
+        > 0
+    )
+    keep = ~blocked
+    out.add_weighted_edges_arrays(eu[keep], ev[keep], ew[keep])
     return out
 
 
 def relative_neighborhood_graph(base: Graph, points: PointSet) -> Graph:
     """RNG restricted to the edges of ``base`` (lune emptiness test)."""
     out = Graph(base.num_vertices)
-    for u, v, w in base.edges():
-        blocked = False
-        for z in base.neighbors(u):
-            if z == v:
-                continue
-            if points.distance(u, z) < w and points.distance(v, z) < w:
-                blocked = True
-                break
-        if not blocked:
-            out.add_edge(u, v, w)
+    eu, ev, ew, edge_of, z = _edge_witnesses(base)
+    if eu.shape[0] == 0:
+        return out
+    coords = points.coords
+    w_rep = ew[edge_of]
+    uz = coords[z] - coords[eu[edge_of]]
+    vz = coords[z] - coords[ev[edge_of]]
+    duz = np.sqrt(np.einsum("ij,ij->i", uz, uz))
+    dvz = np.sqrt(np.einsum("ij,ij->i", vz, vz))
+    inside = (duz < w_rep) & (dvz < w_rep) & (z != ev[edge_of])
+    blocked = (
+        np.bincount(edge_of[inside], minlength=eu.shape[0]) > 0
+    )
+    keep = ~blocked
+    out.add_weighted_edges_arrays(eu[keep], ev[keep], ew[keep])
     return out

@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Protocol, runtime_checkable
 
+import numpy as np
+
 from ..exceptions import ParameterError
 from .points import PointSet
 
@@ -31,6 +33,14 @@ class EdgeMetric(Protocol):
         """Edge weight for a segment of Euclidean length ``length``."""
         ...
 
+    def weights_of_lengths(self, lengths: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`weight_of_length` over an array of lengths.
+
+        Must agree elementwise with the scalar method; the batch graph
+        builders use it to weight whole edge arrays in one call.
+        """
+        ...
+
     def weight(self, points: PointSet, u: int, v: int) -> float:
         """Edge weight between points ``u`` and ``v`` of ``points``."""
         ...
@@ -43,6 +53,10 @@ class EuclideanMetric:
     def weight_of_length(self, length: float) -> float:
         """Identity: the weight of a segment is its length."""
         return length
+
+    def weights_of_lengths(self, lengths: np.ndarray) -> np.ndarray:
+        """Identity on the whole array."""
+        return np.asarray(lengths, dtype=np.float64)
 
     def weight(self, points: PointSet, u: int, v: int) -> float:
         """Euclidean distance between ``u`` and ``v``."""
@@ -77,8 +91,19 @@ class EnergyMetric:
             raise ParameterError(f"c must be > 0, got {self.c}")
 
     def weight_of_length(self, length: float) -> float:
-        """``c * length^gamma``."""
-        return self.c * length**self.gamma
+        """``c * length^gamma``.
+
+        Routed through the array path so scalar and batch weights agree
+        bit-for-bit (numpy's vectorized ``pow`` rounds differently from
+        Python's in the last ulp).
+        """
+        return float(
+            self.weights_of_lengths(np.asarray([length], dtype=np.float64))[0]
+        )
+
+    def weights_of_lengths(self, lengths: np.ndarray) -> np.ndarray:
+        """``c * lengths^gamma`` elementwise."""
+        return self.c * np.asarray(lengths, dtype=np.float64) ** self.gamma
 
     def weight(self, points: PointSet, u: int, v: int) -> float:
         """``c * |uv|^gamma`` for points ``u`` and ``v``."""

@@ -87,14 +87,36 @@ class PointSet:
         return self._coords
 
     def distance(self, u: int, v: int) -> float:
-        """Euclidean distance ``|uv|`` between points ``u`` and ``v``."""
+        """Euclidean distance ``|uv|`` between points ``u`` and ``v``.
+
+        Computed with the same einsum reduction as the batch methods
+        (:meth:`distances_between` et al.) so scalar and vectorized
+        queries agree bit-for-bit -- BLAS ``dot`` may use FMA and round
+        differently in the last ulp.
+        """
         diff = self._coords[u] - self._coords[v]
-        return float(np.sqrt(np.dot(diff, diff)))
+        return float(np.sqrt(np.einsum("i,i->", diff, diff)))
 
     def sq_distance(self, u: int, v: int) -> float:
         """Squared Euclidean distance (cheaper when only comparing)."""
         diff = self._coords[u] - self._coords[v]
-        return float(np.dot(diff, diff))
+        return float(np.einsum("i,i->", diff, diff))
+
+    def sq_distances_between(
+        self, u: np.ndarray, v: np.ndarray
+    ) -> np.ndarray:
+        """Squared distances ``|u_i v_i|^2`` for aligned index arrays.
+
+        The batch graph-construction pipeline uses this to measure whole
+        candidate-pair arrays in one numpy call instead of ``len(u)``
+        Python-level :meth:`sq_distance` calls.
+        """
+        diff = self._coords[np.asarray(u)] - self._coords[np.asarray(v)]
+        return np.einsum("ij,ij->i", diff, diff)
+
+    def distances_between(self, u: np.ndarray, v: np.ndarray) -> np.ndarray:
+        """Distances ``|u_i v_i|`` for aligned index arrays (vectorized)."""
+        return np.sqrt(self.sq_distances_between(u, v))
 
     def distances_from(self, u: int) -> np.ndarray:
         """Vector of Euclidean distances from ``u`` to every point."""

@@ -9,6 +9,28 @@ The gray-zone choice is modelled by :class:`GrayZonePolicy` strategies.
 Because the guarantees of the paper hold for every admissible adversary,
 experiments sweep several policies (E6) -- keep-all, drop-all, Bernoulli,
 distance-decay and obstacle-crossing.
+
+Batch pipeline
+--------------
+Construction is array-native end to end: the grid index emits the full
+candidate set as ``(u, v, dist)`` numpy arrays
+(:meth:`repro.geometry.grid.GridIndex.pairs_within_arrays`), gray-zone
+policies decide whole pair arrays at once (:meth:`GrayZonePolicy.
+decide_batch`), edge metrics weight whole length arrays
+(:meth:`repro.geometry.metrics.EdgeMetric.weights_of_lengths`), and the
+result is bulk-inserted via :meth:`repro.graphs.graph.Graph.
+add_weighted_edges_arrays` -- no per-pair Python dispatch anywhere on the
+hot path.
+
+Determinism contract: the stochastic policies (Bernoulli, decay) draw
+their per-pair randomness from a counter-based hash of ``(seed, min(u,
+v), max(u, v))`` -- a SplitMix64/Murmur3-style integer finalizer mapped to
+a uniform in ``[0, 1)`` -- evaluated array-at-once.  The scalar
+``decide`` delegates to the same hash, so the per-pair path and the batch
+path agree bit-for-bit (pinned by regression tests), builds are
+order-independent and reproducible for a fixed seed, and no RNG object is
+constructed per pair.  Policies that only implement the scalar ``decide``
+still work: the builders fall back to a per-pair loop for them.
 """
 
 from __future__ import annotations
@@ -35,6 +57,74 @@ __all__ = [
     "build_qubg",
 ]
 
+# ----------------------------------------------------------------------
+# Counter-based pair hashing (stochastic policies)
+# ----------------------------------------------------------------------
+_U64_MASK = 0xFFFFFFFFFFFFFFFF
+_GOLDEN_INT = 0x9E3779B97F4A7C15
+_GOLDEN = np.uint64(_GOLDEN_INT)
+_MIX_SHIFT = np.uint64(33)
+_MIX_MUL1 = np.uint64(0xFF51AFD7ED558CCD)
+_MIX_MUL2 = np.uint64(0xC4CEB9FE1A85EC53)
+_INV_2_53 = float(2.0**-53)
+
+
+def _mix64(x: np.ndarray) -> np.ndarray:
+    """Murmur3 fmix64 finalizer, elementwise on uint64 arrays (in place)."""
+    x ^= x >> _MIX_SHIFT
+    x *= _MIX_MUL1
+    x ^= x >> _MIX_SHIFT
+    x *= _MIX_MUL2
+    x ^= x >> _MIX_SHIFT
+    return x
+
+
+def _seed_state(seed: int) -> np.uint64:
+    """Premixed uint64 hash state for a policy seed.
+
+    Computed in Python ints (mod-2^64 wraparound is intended there and
+    silent, unlike numpy scalar arithmetic, which warns on overflow for
+    negative or huge seeds) and equal to ``_mix64`` of the masked seed
+    plus the golden-ratio increment.  Policies cache this at
+    construction so batch calls skip one full array mixing round.
+    """
+    x = (seed + _GOLDEN_INT) & _U64_MASK
+    x ^= x >> 33
+    x = (x * 0xFF51AFD7ED558CCD) & _U64_MASK
+    x ^= x >> 33
+    x = (x * 0xC4CEB9FE1A85EC53) & _U64_MASK
+    x ^= x >> 33
+    return np.uint64(x)
+
+
+def _pair_uniforms(
+    state: np.uint64, u: np.ndarray, v: np.ndarray
+) -> np.ndarray:
+    """Uniform ``[0, 1)`` deviates from a counter-based hash of the
+    premixed seed ``state`` (see :func:`_seed_state`) and the pair ids.
+
+    Stateless and vectorized: the deviate for a pair depends only on the
+    seed and the two endpoint ids, so batch evaluation, scalar evaluation
+    and any evaluation order produce identical values.  Pair orientation
+    is canonicalized internally (``min, max``).
+    """
+    lo = np.minimum(u, v).astype(np.uint64)
+    hi = np.maximum(u, v).astype(np.uint64)
+    h = _mix64(state ^ (lo + _GOLDEN))
+    h = _mix64(h ^ (hi + _GOLDEN))
+    # Top 53 bits give a dyadic uniform in [0, 1), exactly representable.
+    return (h >> np.uint64(11)).astype(np.float64) * _INV_2_53
+
+
+def _pair_uniform_scalar(state: np.uint64, u: int, v: int) -> float:
+    """Scalar convenience wrapper over :func:`_pair_uniforms`."""
+    arr = _pair_uniforms(
+        state,
+        np.asarray([u], dtype=np.int64),
+        np.asarray([v], dtype=np.int64),
+    )
+    return float(arr[0])
+
 
 @runtime_checkable
 class GrayZonePolicy(Protocol):
@@ -42,12 +132,24 @@ class GrayZonePolicy(Protocol):
 
     ``decide`` is called once per unordered pair ``(u, v)`` with
     ``alpha < |uv| <= 1`` and must be deterministic for a given policy
-    instance (policies carry their own seeded RNG where applicable) so
-    that graph construction is reproducible.
+    instance (policies derive per-pair randomness from a counter-based
+    hash of the instance seed and the pair, where applicable) so that
+    graph construction is reproducible.  ``decide_batch`` is the
+    vectorized equivalent and must agree elementwise with ``decide``.
     """
 
     def decide(self, points: PointSet, u: int, v: int, dist: float) -> bool:
         """Whether the gray-zone pair ``{u, v}`` is an edge."""
+        ...
+
+    def decide_batch(
+        self,
+        points: PointSet,
+        u: np.ndarray,
+        v: np.ndarray,
+        dist: np.ndarray,
+    ) -> np.ndarray:
+        """Boolean keep-mask for aligned arrays of gray-zone pairs."""
         ...
 
 
@@ -58,6 +160,15 @@ class KeepAllPolicy:
     def decide(self, points: PointSet, u: int, v: int, dist: float) -> bool:
         return True
 
+    def decide_batch(
+        self,
+        points: PointSet,
+        u: np.ndarray,
+        v: np.ndarray,
+        dist: np.ndarray,
+    ) -> np.ndarray:
+        return np.ones(np.asarray(u).shape[0], dtype=bool)
+
 
 @dataclass(frozen=True)
 class DropAllPolicy:
@@ -66,12 +177,22 @@ class DropAllPolicy:
     def decide(self, points: PointSet, u: int, v: int, dist: float) -> bool:
         return False
 
+    def decide_batch(
+        self,
+        points: PointSet,
+        u: np.ndarray,
+        v: np.ndarray,
+        dist: np.ndarray,
+    ) -> np.ndarray:
+        return np.zeros(np.asarray(u).shape[0], dtype=bool)
+
 
 class BernoulliPolicy:
     """Keep each gray-zone edge independently with probability ``p``.
 
-    The decision for a pair is a deterministic hash of the pair under the
-    instance seed, so repeated builds agree.
+    The decision for a pair is a deterministic counter-based hash of the
+    pair under the instance seed, so repeated builds agree and whole pair
+    arrays are decided in one vectorized call.
     """
 
     def __init__(self, p: float = 0.5, seed: int = 0) -> None:
@@ -79,10 +200,19 @@ class BernoulliPolicy:
             raise GraphError(f"p must be in [0, 1], got {p}")
         self._p = p
         self._seed = seed
+        self._state = _seed_state(seed)
 
     def decide(self, points: PointSet, u: int, v: int, dist: float) -> bool:
-        rng = np.random.default_rng((self._seed, min(u, v), max(u, v)))
-        return bool(rng.random() < self._p)
+        return bool(_pair_uniform_scalar(self._state, u, v) < self._p)
+
+    def decide_batch(
+        self,
+        points: PointSet,
+        u: np.ndarray,
+        v: np.ndarray,
+        dist: np.ndarray,
+    ) -> np.ndarray:
+        return _pair_uniforms(self._state, u, v) < self._p
 
     def __repr__(self) -> str:
         return f"BernoulliPolicy(p={self._p}, seed={self._seed})"
@@ -94,7 +224,8 @@ class DecayPolicy:
     The keep probability for a pair at distance ``dist`` is
     ``((1 - dist) / (1 - alpha)) ** k`` -- 1 at the ``alpha`` boundary,
     0 at distance 1 -- matching the intuition that marginal links are
-    increasingly unreliable.
+    increasingly unreliable.  Randomness comes from the same
+    counter-based pair hash as :class:`BernoulliPolicy`.
     """
 
     def __init__(self, alpha: float, k: float = 2.0, seed: int = 0) -> None:
@@ -107,15 +238,36 @@ class DecayPolicy:
         self._alpha = alpha
         self._k = k
         self._seed = seed
+        self._state = _seed_state(seed)
 
     def decide(self, points: PointSet, u: int, v: int, dist: float) -> bool:
-        frac = max(0.0, (1.0 - dist) / (1.0 - self._alpha))
+        mask = self.decide_batch(
+            points,
+            np.asarray([u], dtype=np.int64),
+            np.asarray([v], dtype=np.int64),
+            np.asarray([dist], dtype=np.float64),
+        )
+        return bool(mask[0])
+
+    def decide_batch(
+        self,
+        points: PointSet,
+        u: np.ndarray,
+        v: np.ndarray,
+        dist: np.ndarray,
+    ) -> np.ndarray:
+        frac = np.maximum(
+            0.0, (1.0 - np.asarray(dist, dtype=np.float64)) / (1.0 - self._alpha)
+        )
         prob = frac**self._k
-        rng = np.random.default_rng((self._seed, min(u, v), max(u, v)))
-        return bool(rng.random() < prob)
+        return _pair_uniforms(self._state, u, v) < prob
 
     def __repr__(self) -> str:
         return f"DecayPolicy(alpha={self._alpha}, k={self._k}, seed={self._seed})"
+
+
+# Pair-chunk size bounding the (pairs, obstacles, dim) broadcast buffer.
+_OBSTACLE_CHUNK = 1 << 15
 
 
 @dataclass(frozen=True)
@@ -126,34 +278,132 @@ class ObstaclePolicy:
     iff the segment between the two points passes within ``radius`` of an
     obstacle center.  (Short links -- length ``<= alpha`` -- are kept
     regardless, as the alpha-UBG definition requires.)
+
+    The obstacle list is normalized once at construction into a ``(k, d)``
+    center array and ``(k,)`` radius array, so neither ``decide`` nor
+    ``decide_batch`` re-converts Python tuples per call.
     """
 
     obstacles: tuple[tuple[tuple[float, ...], float], ...] = field(
         default_factory=tuple
     )
+    _centers: np.ndarray | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _radii_sq: np.ndarray | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.obstacles:
+            centers = np.asarray(
+                [center for center, _ in self.obstacles], dtype=np.float64
+            )
+            radii = np.asarray(
+                [radius for _, radius in self.obstacles], dtype=np.float64
+            )
+            object.__setattr__(self, "_centers", centers)
+            object.__setattr__(self, "_radii_sq", radii * radii)
 
     def decide(self, points: PointSet, u: int, v: int, dist: float) -> bool:
+        if self._centers is None:
+            return True
         p, q = points[u], points[v]
-        for center, radius in self.obstacles:
-            if _segment_ball_intersects(p, q, np.asarray(center), radius):
-                return False
-        return True
+        return not bool(
+            _segments_hit_obstacles(
+                p[None, :], q[None, :], self._centers, self._radii_sq
+            )[0]
+        )
+
+    def decide_batch(
+        self,
+        points: PointSet,
+        u: np.ndarray,
+        v: np.ndarray,
+        dist: np.ndarray,
+    ) -> np.ndarray:
+        m = np.asarray(u).shape[0]
+        if self._centers is None or m == 0:
+            return np.ones(m, dtype=bool)
+        coords = points.coords
+        p = coords[np.asarray(u)]
+        q = coords[np.asarray(v)]
+        keep = np.empty(m, dtype=bool)
+        # Chunk so the (pairs, obstacles, dim) broadcast stays bounded.
+        for lo in range(0, m, _OBSTACLE_CHUNK):
+            hi = min(lo + _OBSTACLE_CHUNK, m)
+            keep[lo:hi] = ~_segments_hit_obstacles(
+                p[lo:hi], q[lo:hi], self._centers, self._radii_sq
+            )
+        return keep
 
 
-def _segment_ball_intersects(
-    p: np.ndarray, q: np.ndarray, center: np.ndarray, radius: float
-) -> bool:
-    """Whether segment ``pq`` passes within ``radius`` of ``center``."""
-    seg = q - p
-    seg_len_sq = float(np.dot(seg, seg))
-    if seg_len_sq == 0.0:
-        gap = p - center
-        return float(np.dot(gap, gap)) <= radius * radius
-    proj = float(np.dot(center - p, seg)) / seg_len_sq
-    proj = max(0.0, min(1.0, proj))
-    closest = p + proj * seg
-    gap = closest - center
-    return float(np.dot(gap, gap)) <= radius * radius
+def _segments_hit_obstacles(
+    p: np.ndarray,
+    q: np.ndarray,
+    centers: np.ndarray,
+    radii_sq: np.ndarray,
+) -> np.ndarray:
+    """For each segment ``p[i]q[i]``, whether it passes within any
+    obstacle ball (vectorized over segments x obstacles).
+
+    ``p``/``q`` have shape ``(m, d)``, ``centers`` shape ``(k, d)`` and
+    ``radii_sq`` shape ``(k,)``; returns a ``(m,)`` boolean hit mask.
+    """
+    seg = q - p  # (m, d)
+    seg_len_sq = np.einsum("ij,ij->i", seg, seg)  # (m,)
+    to_center = centers[None, :, :] - p[:, None, :]  # (m, k, d)
+    proj = np.einsum("mkd,md->mk", to_center, seg)
+    # Degenerate zero-length segments project everything onto p itself.
+    safe_len = np.where(seg_len_sq > 0.0, seg_len_sq, 1.0)
+    t = np.clip(proj / safe_len[:, None], 0.0, 1.0)
+    t[seg_len_sq == 0.0] = 0.0
+    gap = to_center - t[:, :, None] * seg[:, None, :]
+    gap_sq = np.einsum("mkd,mkd->mk", gap, gap)
+    return (gap_sq <= radii_sq[None, :]).any(axis=1)
+
+
+# ----------------------------------------------------------------------
+# Batch helpers
+# ----------------------------------------------------------------------
+def _metric_weights(metric: EdgeMetric, lengths: np.ndarray) -> np.ndarray:
+    """Vectorized metric application, falling back to the scalar API for
+    metrics that predate ``weights_of_lengths``."""
+    batch = getattr(metric, "weights_of_lengths", None)
+    if batch is not None:
+        return np.asarray(batch(lengths), dtype=np.float64)
+    return np.asarray(
+        [metric.weight_of_length(float(x)) for x in lengths],
+        dtype=np.float64,
+    )
+
+
+def _policy_mask(
+    policy: GrayZonePolicy,
+    points: PointSet,
+    u: np.ndarray,
+    v: np.ndarray,
+    dist: np.ndarray,
+) -> np.ndarray:
+    """Vectorized policy application, falling back to per-pair ``decide``
+    for policies that predate ``decide_batch``."""
+    batch = getattr(policy, "decide_batch", None)
+    if batch is not None:
+        mask = np.asarray(batch(points, u, v, dist), dtype=bool)
+        if mask.shape != u.shape:
+            raise GraphError(
+                f"decide_batch returned shape {mask.shape}; "
+                f"expected {u.shape}"
+            )
+        return mask
+    return np.fromiter(
+        (
+            policy.decide(points, int(a), int(b), float(d))
+            for a, b, d in zip(u, v, dist)
+        ),
+        dtype=bool,
+        count=u.shape[0],
+    )
 
 
 def build_udg(
@@ -179,8 +429,8 @@ def build_udg(
     metric = metric or EuclideanMetric()
     graph = Graph(len(points))
     index = GridIndex(points, cell_width=radius)
-    for u, v, dist in index.all_pairs_within(radius):
-        graph.add_edge(u, v, metric.weight_of_length(dist))
+    u, v, dist = index.pairs_within_arrays(radius)
+    graph.add_weighted_edges_arrays(u, v, _metric_weights(metric, dist))
     return graph
 
 
@@ -214,7 +464,13 @@ def build_qubg(
     policy = policy or KeepAllPolicy()
     graph = Graph(len(points))
     index = GridIndex(points, cell_width=1.0)
-    for u, v, dist in index.all_pairs_within(1.0):
-        if dist <= alpha or policy.decide(points, u, v, dist):
-            graph.add_edge(u, v, metric.weight_of_length(dist))
+    u, v, dist = index.pairs_within_arrays(1.0)
+    gray = dist > alpha
+    if gray.any():
+        keep = np.ones(u.shape[0], dtype=bool)
+        keep[gray] = _policy_mask(
+            policy, points, u[gray], v[gray], dist[gray]
+        )
+        u, v, dist = u[keep], v[keep], dist[keep]
+    graph.add_weighted_edges_arrays(u, v, _metric_weights(metric, dist))
     return graph

@@ -102,6 +102,45 @@ class Graph:
         """The set of edges as ``(min, max)`` vertex pairs."""
         return {(u, v) for u, v, _ in self.edges()}
 
+    def edges_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """All edges as aligned arrays ``(u, v, w)`` with ``u < v``.
+
+        Rows appear in :meth:`edges` order; the arrays feed the vectorized
+        baselines and bulk analyses without per-edge Python iteration.
+        """
+        m = self._num_edges
+        us = np.empty(m, dtype=np.int64)
+        vs = np.empty(m, dtype=np.int64)
+        ws = np.empty(m, dtype=np.float64)
+        i = 0
+        for u, nbrs in enumerate(self._adj):
+            for v, w in nbrs.items():
+                if u < v:
+                    us[i] = u
+                    vs[i] = v
+                    ws[i] = w
+                    i += 1
+        return us, vs, ws
+
+    def adjacency_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """CSR-style adjacency: ``(indptr, indices, weights)``.
+
+        ``indices[indptr[u]:indptr[u+1]]`` lists the neighbors of ``u``
+        (sorted ascending for determinism) with aligned ``weights``.
+        """
+        n = self.num_vertices
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        for u, nbrs in enumerate(self._adj):
+            indptr[u + 1] = indptr[u] + len(nbrs)
+        indices = np.empty(int(indptr[-1]), dtype=np.int64)
+        weights = np.empty(int(indptr[-1]), dtype=np.float64)
+        for u, nbrs in enumerate(self._adj):
+            lo = int(indptr[u])
+            order = sorted(nbrs)
+            indices[lo : lo + len(order)] = order
+            weights[lo : lo + len(order)] = [nbrs[v] for v in order]
+        return indptr, indices, weights
+
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
@@ -141,6 +180,57 @@ class Graph:
         """Bulk :meth:`add_edge` from ``(u, v, weight)`` triples."""
         for u, v, w in edges:
             self.add_edge(u, v, w)
+
+    def add_weighted_edges_arrays(
+        self, u: np.ndarray, v: np.ndarray, w: np.ndarray
+    ) -> None:
+        """Bulk edge insertion from aligned numpy arrays.
+
+        Validates the whole batch up front with array checks (bounds,
+        self-loops, positive weights -- the same invariants
+        :meth:`add_edge` enforces per edge) and then inserts with one
+        tight loop, avoiding per-edge validation dispatch.  Semantics
+        match repeated :meth:`add_edge` calls: later duplicates overwrite
+        earlier weights.
+        """
+        u = np.asarray(u, dtype=np.int64)
+        v = np.asarray(v, dtype=np.int64)
+        w = np.asarray(w, dtype=np.float64)
+        if not (u.ndim == v.ndim == w.ndim == 1):
+            raise GraphError("edge arrays must be one-dimensional")
+        if not (u.shape == v.shape == w.shape):
+            raise GraphError(
+                "edge arrays must be aligned: "
+                f"got shapes {u.shape}, {v.shape}, {w.shape}"
+            )
+        if u.shape[0] == 0:
+            return
+        n = len(self._adj)
+        bad = (u < 0) | (u >= n) | (v < 0) | (v >= n)
+        if bad.any():
+            i = int(np.flatnonzero(bad)[0])
+            vertex = int(u[i]) if not 0 <= u[i] < n else int(v[i])
+            raise GraphError(f"vertex {vertex} out of range [0, {n})")
+        loops = u == v
+        if loops.any():
+            i = int(np.flatnonzero(loops)[0])
+            raise GraphError(f"self-loop at vertex {int(u[i])} not allowed")
+        bad_w = ~(w > 0.0)  # catches non-positive and NaN weights
+        if bad_w.any():
+            i = int(np.flatnonzero(bad_w)[0])
+            raise GraphError(
+                "edge weight must be positive, got "
+                f"{float(w[i])} for ({int(u[i])}, {int(v[i])})"
+            )
+        adj = self._adj
+        new_edges = 0
+        for a, b, wt in zip(u.tolist(), v.tolist(), w.tolist()):
+            row = adj[a]
+            if b not in row:
+                new_edges += 1
+            row[b] = wt
+            adj[b][a] = wt
+        self._num_edges += new_edges
 
     # ------------------------------------------------------------------
     # Derived graphs

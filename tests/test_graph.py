@@ -171,3 +171,79 @@ class TestInterop:
 
     def test_repr(self):
         assert repr(triangle()) == "Graph(n=3, m=3)"
+
+
+class TestArrayApis:
+    def test_edges_arrays_roundtrip(self):
+        import numpy as np
+
+        g = triangle()
+        u, v, w = g.edges_arrays()
+        assert list(zip(u.tolist(), v.tolist(), w.tolist())) == list(
+            g.edges()
+        )
+        assert u.dtype == np.int64 and w.dtype == np.float64
+
+    def test_adjacency_arrays_csr(self):
+        g = triangle()
+        indptr, indices, weights = g.adjacency_arrays()
+        assert indptr.tolist() == [0, 2, 4, 6]
+        assert indices[indptr[0] : indptr[1]].tolist() == [1, 2]
+        assert weights[indptr[0] : indptr[1]].tolist() == [1.0, 2.5]
+
+    def test_bulk_insert_matches_add_edge(self):
+        import numpy as np
+
+        g = Graph(4)
+        g.add_weighted_edges_arrays(
+            np.array([0, 1, 2]),
+            np.array([1, 2, 3]),
+            np.array([1.0, 2.0, 3.0]),
+        )
+        ref = Graph(4)
+        ref.add_edges_from([(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0)])
+        assert g == ref and g.num_edges == 3
+
+    def test_bulk_insert_duplicate_overwrites_once(self):
+        import numpy as np
+
+        g = Graph(2)
+        g.add_weighted_edges_arrays(
+            np.array([0, 0]), np.array([1, 1]), np.array([1.0, 5.0])
+        )
+        assert g.num_edges == 1 and g.weight(0, 1) == 5.0
+
+    def test_bulk_insert_empty_is_noop(self):
+        import numpy as np
+
+        g = Graph(3)
+        g.add_weighted_edges_arrays(
+            np.empty(0, dtype=int), np.empty(0, dtype=int), np.empty(0)
+        )
+        assert g.num_edges == 0
+
+    def test_bulk_insert_validation(self):
+        import numpy as np
+
+        g = Graph(3)
+        with pytest.raises(GraphError):  # out of range
+            g.add_weighted_edges_arrays(
+                np.array([0]), np.array([3]), np.array([1.0])
+            )
+        with pytest.raises(GraphError):  # self-loop
+            g.add_weighted_edges_arrays(
+                np.array([1]), np.array([1]), np.array([1.0])
+            )
+        with pytest.raises(GraphError):  # non-positive weight
+            g.add_weighted_edges_arrays(
+                np.array([0]), np.array([1]), np.array([0.0])
+            )
+        with pytest.raises(GraphError):  # NaN weight
+            g.add_weighted_edges_arrays(
+                np.array([0]), np.array([1]), np.array([float("nan")])
+            )
+        with pytest.raises(GraphError):  # misaligned shapes
+            g.add_weighted_edges_arrays(
+                np.array([0, 1]), np.array([1]), np.array([1.0])
+            )
+        assert g.num_edges == 0  # every failed batch left it untouched

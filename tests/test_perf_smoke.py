@@ -1,0 +1,41 @@
+"""Wall-clock guard on the batch construction pipeline.
+
+Not a benchmark -- a cheap tripwire: building a 2000-point QUBG must stay
+comfortably under 2 seconds.  The vectorized pipeline does this in tens
+of milliseconds; only an accidental reversion to per-pair Python work
+(O(n * 3^d) loops, per-pair RNG construction, per-edge dispatch) would
+blow the bound, so a failure here flags an asymptotic regression without
+needing a benchmark runner.
+"""
+
+import time
+
+from repro.geometry.sampling import uniform_points
+from repro.graphs.build import BernoulliPolicy, build_qubg, build_udg
+
+BUDGET_SECONDS = 2.0
+
+
+def test_qubg_2000_points_under_two_seconds():
+    points = uniform_points(2000, seed=5, expected_degree=8.0)
+    policy = BernoulliPolicy(0.5, seed=5)
+    build_qubg(points, 0.6, policy=policy)  # warm caches outside the clock
+    start = time.perf_counter()
+    graph = build_qubg(points, 0.6, policy=policy)
+    elapsed = time.perf_counter() - start
+    assert graph.num_edges > 0
+    assert elapsed < BUDGET_SECONDS, (
+        f"build_qubg(n=2000) took {elapsed:.2f}s; the batch pipeline "
+        "should finish in well under a second -- check for per-pair "
+        "Python loops on the hot path"
+    )
+
+
+def test_udg_2000_points_under_two_seconds():
+    points = uniform_points(2000, seed=6, expected_degree=8.0)
+    build_udg(points)
+    start = time.perf_counter()
+    graph = build_udg(points)
+    elapsed = time.perf_counter() - start
+    assert graph.num_edges > 0
+    assert elapsed < BUDGET_SECONDS

@@ -1,0 +1,129 @@
+"""Scaling benchmarks for the array-native analysis engine.
+
+Tracks ``measure_stretch`` / ``assess`` wall time at n in
+{1000, 5000, 20000} on constant-density UDGs with Gabriel-graph spanners
+(ISSUE 2 acceptance: the n=5000 ``assess`` must beat the pre-PR scalar
+path by >= 10x).  The scalar reference below reproduces the pre-PR
+semantics exactly -- scipy Dijkstra rows re-materialized into per-vertex
+Python dicts, per-edge Python aggregation, Kruskal MST, dict power cost
+-- so the printed speedup is measured against the real former hot path,
+not a strawman.
+
+Run with ``-s`` to see the recorded speedup table::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_analysis_scaling.py -s
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.baselines.proximity import gabriel_graph
+from repro.geometry.sampling import uniform_points
+from repro.graphs.analysis import assess, measure_stretch
+from repro.graphs.build import build_udg
+from repro.graphs.graph import Graph
+from repro.graphs.mst import kruskal_mst
+
+SIZES = (1000, 5000, 20000)
+
+
+def _instance(n: int):
+    points = uniform_points(n, seed=1234 + n, expected_degree=8.0)
+    base = build_udg(points)
+    return base, gabriel_graph(base, points)
+
+
+# ----------------------------------------------------------------------
+# Pre-PR scalar reference path (dict materialization, Python loops)
+# ----------------------------------------------------------------------
+def _scalar_distance_rows(spanner: Graph, sources: list[int]):
+    from scipy.sparse.csgraph import dijkstra as sp_dijkstra
+
+    n = spanner.num_vertices
+    mat = spanner.csr()
+    rows = sp_dijkstra(mat, directed=False, indices=sources)
+    rows = rows.reshape(len(sources), n)
+    return {
+        src: {v: float(rows[i, v]) for v in range(n)}
+        for i, src in enumerate(sources)
+    }
+
+
+def _scalar_measure_stretch(base: Graph, spanner: Graph):
+    edges = list(base.edges())
+    sources = sorted({u for u, _, _ in edges})
+    rows = _scalar_distance_rows(spanner, sources)
+    max_ratio, total = 0.0, 0.0
+    for u, v, w in edges:
+        ratio = rows[u].get(v, float("inf")) / w
+        total += ratio
+        max_ratio = max(max_ratio, ratio)
+    return max_ratio, total / len(edges)
+
+
+def _scalar_power_cost(graph: Graph) -> float:
+    total = 0.0
+    for u in graph.vertices():
+        best = 0.0
+        for _, w in graph.neighbor_items(u):
+            best = max(best, w)
+        total += best
+    return total
+
+
+def _scalar_assess(base: Graph, spanner: Graph):
+    max_ratio, mean_ratio = _scalar_measure_stretch(base, spanner)
+    mst_w = kruskal_mst(base).total_weight()
+    light = spanner.total_weight() / mst_w
+    power = _scalar_power_cost(spanner) / _scalar_power_cost(base)
+    return max_ratio, mean_ratio, light, power
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_measure_stretch_scaling(benchmark, n):
+    base, spanner = _instance(n)
+    report = benchmark(measure_stretch, base, spanner)
+    assert np.isfinite(report.max_stretch)
+    assert report.num_edges_checked == base.num_edges
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_assess_scaling(benchmark, n):
+    base, spanner = _instance(n)
+    quality = benchmark(assess, base, spanner)
+    assert quality.stretch >= 1.0
+    assert quality.lightness >= 1.0
+
+
+def test_assess_speedup_vs_scalar_reference(benchmark):
+    """Acceptance record: array ``assess`` >= 10x the pre-PR scalar path
+    at n=5000 (scalar measured once, array under the benchmark clock)."""
+    n = 5000
+    base, spanner = _instance(n)
+
+    start = time.perf_counter()
+    s_max, s_mean, s_light, s_power = _scalar_assess(base, spanner)
+    scalar_s = time.perf_counter() - start
+
+    quality = benchmark(assess, base, spanner)
+    start = time.perf_counter()
+    assess(base, spanner)
+    array_s = time.perf_counter() - start
+
+    assert quality.stretch == pytest.approx(s_max, rel=1e-9)
+    assert quality.mean_stretch == pytest.approx(s_mean, rel=1e-9)
+    assert quality.lightness == pytest.approx(s_light, rel=1e-9)
+    assert quality.power_cost_ratio == pytest.approx(s_power, rel=1e-9)
+
+    speedup = scalar_s / array_s
+    print(
+        f"\nassess n={n}: scalar {scalar_s:.2f}s, array {array_s:.3f}s, "
+        f"speedup {speedup:.1f}x"
+    )
+    assert speedup >= 10.0, (
+        f"array assess only {speedup:.1f}x faster than the scalar path"
+    )

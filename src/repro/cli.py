@@ -1,13 +1,14 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Three commands cover the deploy-and-inspect loop a downstream user needs
+Four commands cover the deploy-and-inspect loop a downstream user needs
 without writing Python:
 
-* ``generate`` -- sample a named workload and save it as a JSON instance;
+* ``generate`` -- sample a named scenario and save it as a JSON instance;
 * ``build`` -- load an instance, run the sequential or distributed
   relaxed greedy algorithm, report quality, optionally save the spanner;
-* ``experiments`` -- run the E/F/A/X experiment suite (thin alias for
-  :mod:`repro.experiments.run_all`).
+* ``experiments`` -- run the E/F/A/X experiment suite (worker pool +
+  JSON artifacts; thin alias for :mod:`repro.experiments.run_all`);
+* ``scenarios`` -- list the deployment-pattern registry.
 """
 
 from __future__ import annotations
@@ -18,7 +19,11 @@ import sys
 
 from .core.relaxed_greedy import RelaxedGreedySpanner
 from .distributed.dist_spanner import DistributedRelaxedGreedy
-from .experiments.workloads import WORKLOAD_NAMES, make_workload
+from .experiments.workloads import (
+    SCENARIO_REGISTRY,
+    WORKLOAD_NAMES,
+    make_workload,
+)
 from .graphs.analysis import assess
 from .graphs.io import load_instance, save_instance
 from .params import SpannerParams
@@ -109,7 +114,21 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     if args.markdown:
         forwarded.append("--markdown")
     forwarded.extend(["--seed", str(args.seed)])
+    forwarded.extend(["--jobs", str(args.jobs)])
+    if args.results_dir:
+        forwarded.extend(["--results-dir", args.results_dir])
     return run_all_main(forwarded)
+
+
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    from .experiments.runner import format_table
+
+    rows = [spec.as_row() for spec in SCENARIO_REGISTRY.values()]
+    if args.json:
+        print(json.dumps(rows, indent=2))
+    else:
+        print(format_table(rows))
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -152,7 +171,23 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--only", default="")
     exp.add_argument("--markdown", action="store_true")
     exp.add_argument("--seed", type=int, default=0)
+    exp.add_argument(
+        "--jobs", type=int, default=0,
+        help="worker processes (0 = auto by CPU, 1 = serial)",
+    )
+    exp.add_argument(
+        "--results-dir", default="results",
+        help="JSON artifact directory ('' disables persistence)",
+    )
     exp.set_defaults(func=_cmd_experiments)
+
+    scen = sub.add_parser(
+        "scenarios", help="list the deployment-scenario registry"
+    )
+    scen.add_argument(
+        "--json", action="store_true", help="emit JSON instead of a table"
+    )
+    scen.set_defaults(func=_cmd_scenarios)
     return parser
 
 

@@ -20,9 +20,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..exceptions import GraphError
 from ..graphs.graph import Graph
-from ..graphs.paths import dijkstra
+from ..graphs.paths import (
+    dijkstra,
+    multi_source_distances,
+    prefer_batched_sources,
+    source_block_size,
+)
 from .cover import ClusterCover
 
 __all__ = ["ClusterGraph", "build_cluster_graph"]
@@ -134,25 +141,47 @@ def build_cluster_graph(
         longest_crossing = max(longest_crossing, w)
 
     reach = 2.0 * delta * w_prev + max(w_prev, longest_crossing)
-    centers = list(cover.centers)
-    center_set = set(centers)
+    centers = sorted(cover.centers)
     num_inter = 0
-    center_rows: dict[int, dict[int, float]] = {}
-    for a in centers:
-        center_rows[a] = {
-            v: d
-            for v, d in dijkstra(spanner, a, cutoff=reach).items()
-            if v in center_set and v != a
-        }
-    for a in centers:
-        for b, d in center_rows[a].items():
-            if b <= a:
-                continue  # handle each unordered pair once
-            is_near = d <= w_prev  # condition (i)
-            is_crossing = (a, b) in crossing  # condition (ii)
-            if (is_near or is_crossing) and not h.has_edge(a, b):
-                h.add_edge(a, b, d)
-                num_inter += 1
+    # Center-to-center distances within `reach`: batched multi-source
+    # Dijkstra blocks when the reach balls are wide, per-center dict
+    # search when they are tiny (see prefer_batched_sources).
+    if prefer_batched_sources(spanner, centers, reach):
+        center_arr = np.asarray(centers, dtype=np.int64)
+        pos = {c: j for j, c in enumerate(centers)}
+        block = source_block_size(spanner)
+        for lo in range(0, len(centers), block):
+            chunk = center_arr[lo : lo + block]
+            rows = multi_source_distances(spanner, chunk, cutoff=reach)
+            sub = rows[:, center_arr]  # (chunk, num_centers)
+            near = np.isfinite(sub) & (sub <= w_prev)  # condition (i)
+            for i, j in np.argwhere(near).tolist():
+                a, b = int(chunk[i]), int(centers[j])
+                if b <= a:
+                    continue  # handle each unordered pair once
+                if not h.has_edge(a, b):
+                    h.add_edge(a, b, float(sub[i, j]))
+                    num_inter += 1
+            # Condition (ii): crossing pairs whose lower center is in
+            # this chunk (pairs are stored (min, max), so a < b).
+            for a, b in crossing:
+                i = pos[a] - lo
+                if 0 <= i < sub.shape[0]:
+                    d = sub[i, pos[b]]
+                    if np.isfinite(d) and not h.has_edge(a, b):
+                        h.add_edge(a, b, float(d))
+                        num_inter += 1
+    else:
+        center_set = set(centers)
+        for a in centers:
+            for b, d in dijkstra(spanner, a, cutoff=reach).items():
+                if b not in center_set or b <= a:
+                    continue  # handle each unordered pair once
+                is_near = d <= w_prev  # condition (i)
+                is_crossing = (a, b) in crossing  # condition (ii)
+                if (is_near or is_crossing) and not h.has_edge(a, b):
+                    h.add_edge(a, b, d)
+                    num_inter += 1
     # Defensive: condition (ii) pairs must have been within the Lemma 5
     # reach; a miss means the cover or spanner handed to us is inconsistent.
     for a, b in crossing:

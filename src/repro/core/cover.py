@@ -22,9 +22,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
+import numpy as np
+
 from ..exceptions import GraphError
 from ..graphs.graph import Graph
-from ..graphs.paths import dijkstra
+from ..graphs.paths import (
+    dijkstra,
+    multi_source_distances,
+    prefer_batched_sources,
+    source_block_size,
+)
 
 __all__ = ["ClusterCover", "build_cluster_cover", "cover_from_centers"]
 
@@ -172,13 +179,31 @@ def cover_from_centers(
         raise GraphError("centers must lie inside the covered universe")
     assignment: dict[int, int] = {}
     center_distance: dict[int, float] = {}
-    # Highest-id preference: process centers in increasing id order and let
-    # later (higher) centers overwrite.
-    for c in center_list:
-        for v, d in dijkstra(graph, c, cutoff=radius).items():
-            if v in universe:
-                assignment[v] = c
-                center_distance[v] = d
+    # Highest-id preference: process centers in increasing id order and
+    # let later (higher) centers overwrite.  Wide-reach assignments go
+    # through batched multi-source Dijkstra blocks; tiny-ball regimes
+    # stay on the per-center dict search (see prefer_batched_sources).
+    if prefer_batched_sources(graph, center_list, radius):
+        block = source_block_size(graph)
+        for lo in range(0, len(center_list), block):
+            chunk = center_list[lo : lo + block]
+            rows = multi_source_distances(graph, chunk, cutoff=radius)
+            reached = np.isfinite(rows)
+            covered = reached.any(axis=0)
+            # Highest row index with a finite entry = highest-id center
+            # in this (ascending) chunk that reaches the vertex.
+            pick = rows.shape[0] - 1 - np.argmax(reached[::-1], axis=0)
+            for v in np.flatnonzero(covered).tolist():
+                if v in universe:
+                    c = chunk[int(pick[v])]
+                    assignment[v] = c
+                    center_distance[v] = float(rows[int(pick[v]), v])
+    else:
+        for c in center_list:
+            for v, d in dijkstra(graph, c, cutoff=radius).items():
+                if v in universe:
+                    assignment[v] = c
+                    center_distance[v] = d
     for c in center_list:  # centers always belong to their own cluster
         assignment[c] = c
         center_distance[c] = 0.0

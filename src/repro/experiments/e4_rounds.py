@@ -19,7 +19,7 @@ import math
 from ..distributed.dist_spanner import DistributedRelaxedGreedy
 from ..graphs.analysis import measure_stretch
 from ..params import SpannerParams
-from .runner import ExperimentResult, register
+from .runner import ExperimentResult, register, stopwatch
 from .workloads import make_workload
 
 __all__ = ["run", "log_star"]
@@ -54,30 +54,33 @@ def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
     per_phase_gathers = []
     for n in sizes:
         workload = make_workload("uniform", n, seed=seed + n)
-        build = DistributedRelaxedGreedy(params, seed=seed).build(
-            workload.graph, workload.points.distance
-        )
-        stretch = measure_stretch(workload.graph, build.spanner).max_stretch
+        row = {"n": n}
+        with stopwatch(row):
+            build = DistributedRelaxedGreedy(params, seed=seed).build(
+                workload.graph, workload.points.distance
+            )
+            stretch = measure_stretch(
+                workload.graph, build.spanner
+            ).max_stretch
         ledger = build.ledger
         executed = len(build.phases)
         gather_per_phase = ledger.gather_rounds() / max(1, executed)
         per_phase_gathers.append(gather_per_phase)
         logn = math.log2(max(2, n))
-        result.rows.append(
-            {
-                "n": n,
-                "phases_executed": executed,
-                "bins_m": build.num_bins,
-                "rounds_total": ledger.total_rounds,
-                "rounds_gather": ledger.gather_rounds(),
-                "rounds_mis": ledger.mis_rounds(),
-                "gather_per_phase": gather_per_phase,
-                "rounds/log2n*logstar": ledger.total_rounds
-                / (logn * max(1, log_star(n))),
-                "rounds/log2n^2": ledger.total_rounds / (logn * logn),
-                "stretch_ok": stretch <= (1.0 + eps) * (1.0 + 1e-9),
-            }
+        row.update(
+            phases_executed=executed,
+            bins_m=build.num_bins,
+            rounds_total=ledger.total_rounds,
+            rounds_gather=ledger.gather_rounds(),
+            rounds_mis=ledger.mis_rounds(),
+            gather_per_phase=gather_per_phase,
         )
+        row["rounds/log2n*logstar"] = ledger.total_rounds / (
+            logn * max(1, log_star(n))
+        )
+        row["rounds/log2n^2"] = ledger.total_rounds / (logn * logn)
+        row["stretch_ok"] = stretch <= (1.0 + eps) * (1.0 + 1e-9)
+        result.rows.append(row)
         result.passed &= stretch <= (1.0 + eps) * (1.0 + 1e-9)
     # O(1) gather rounds per phase: flat band.
     result.passed &= max(per_phase_gathers) <= min(per_phase_gathers) * 2.0 + 4.0

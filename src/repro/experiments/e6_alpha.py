@@ -17,7 +17,7 @@ from ..graphs.build import (
     KeepAllPolicy,
     build_qubg,
 )
-from .runner import ExperimentResult, register
+from .runner import ExperimentResult, register, stopwatch
 from .workloads import make_workload
 
 __all__ = ["run"]
@@ -47,22 +47,21 @@ def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
         for policy_name, policy in policies.items():
             if policy is None:
                 continue
-            graph = build_qubg(base.points, alpha, policy=policy)
-            build = build_spanner(
-                graph, base.points.distance, eps, alpha=alpha
-            )
-            quality = assess(graph, build.spanner)
+            row = {"alpha": alpha, "policy": policy_name}
+            with stopwatch(row):
+                graph = build_qubg(base.points, alpha, policy=policy)
+                build = build_spanner(
+                    graph, base.points.distance, eps, alpha=alpha
+                )
+                quality = assess(graph, build.spanner)
             ok = quality.stretch <= (1.0 + eps) * (1.0 + 1e-9)
-            result.rows.append(
-                {
-                    "alpha": alpha,
-                    "policy": policy_name,
-                    "input_edges": graph.num_edges,
-                    "stretch": quality.stretch,
-                    "max_degree": quality.max_degree,
-                    "lightness": quality.lightness,
-                    "within_bound": ok,
-                }
+            row.update(
+                input_edges=graph.num_edges,
+                stretch=quality.stretch,
+                max_degree=quality.max_degree,
+                lightness=quality.lightness,
+                within_bound=ok,
             )
+            result.rows.append(row)
             result.passed &= ok
     return result

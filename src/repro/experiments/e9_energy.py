@@ -14,7 +14,7 @@ from ..extensions.energy import build_energy_spanner
 from ..extensions.power_cost import power_cost_report
 from ..geometry.metrics import EnergyMetric
 from ..graphs.analysis import measure_stretch
-from .runner import ExperimentResult, register
+from .runner import ExperimentResult, register, stopwatch
 from .workloads import make_workload
 
 __all__ = ["run"]
@@ -39,28 +39,28 @@ def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
         ),
     )
     for gamma in gammas:
-        build = build_energy_spanner(
-            workload.graph, workload.points.distance, eps, gamma=gamma
-        )
-        stretch = measure_stretch(
-            build.energy_base, build.energy_spanner
-        ).max_stretch
-        power = power_cost_report(
-            workload.graph,
-            build.length_result.spanner,
-            EnergyMetric(gamma=gamma),
-        )
+        row = {"gamma": gamma}
+        with stopwatch(row):
+            build = build_energy_spanner(
+                workload.graph, workload.points.distance, eps, gamma=gamma
+            )
+            stretch = measure_stretch(
+                build.energy_base, build.energy_spanner
+            ).max_stretch
+            power = power_cost_report(
+                workload.graph,
+                build.length_result.spanner,
+                EnergyMetric(gamma=gamma),
+            )
         ok = stretch <= (1.0 + eps) * (1.0 + 1e-9)
-        result.rows.append(
-            {
-                "gamma": gamma,
-                "length_t": build.length_t,
-                "energy_stretch": stretch,
-                "edges": build.energy_spanner.num_edges,
-                "power_vs_input": power.ratio_vs_input,
-                "power_vs_mst": power.ratio_vs_mst,
-                "within_bound": ok,
-            }
+        row.update(
+            length_t=build.length_t,
+            energy_stretch=stretch,
+            edges=build.energy_spanner.num_edges,
+            power_vs_input=power.ratio_vs_input,
+            power_vs_mst=power.ratio_vs_mst,
+            within_bound=ok,
         )
+        result.rows.append(row)
         result.passed &= ok and power.ratio_vs_input <= 1.0 + 1e-9
     return result

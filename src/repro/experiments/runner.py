@@ -1,17 +1,48 @@
-"""Experiment result containers and table rendering.
+"""Experiment result containers, timing capture and artifact persistence.
 
 Every experiment module exposes ``run(quick=False, seed=0) ->
 ExperimentResult``; the result carries a claim statement, a table of
 measurement rows and a verdict.  ``format_text``/``format_markdown``
-render the tables that benches print and EXPERIMENTS.md records.
+render the tables that benches print and EXPERIMENTS.md records;
+``save_json``/``save_results`` persist machine-readable artifacts under
+``results/`` so sweeps can be diffed run-to-run; :func:`stopwatch` is the
+per-row wall-clock capture the experiment bodies use.
 """
 
 from __future__ import annotations
 
+import json
+import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from pathlib import Path
+from typing import Any, Callable, Iterable
 
-__all__ = ["ExperimentResult", "format_table", "EXPERIMENT_REGISTRY", "register"]
+__all__ = [
+    "ExperimentResult",
+    "format_table",
+    "EXPERIMENT_REGISTRY",
+    "register",
+    "stopwatch",
+    "save_results",
+]
+
+
+@contextmanager
+def stopwatch(row: dict[str, Any], column: str = "wall_s"):
+    """Context manager stamping elapsed wall-clock seconds into ``row``.
+
+    Usage::
+
+        with stopwatch(row):
+            ... timed work ...
+        result.rows.append(row)
+    """
+    start = time.perf_counter()
+    try:
+        yield row
+    finally:
+        row[column] = round(time.perf_counter() - start, 6)
 
 
 @dataclass
@@ -30,6 +61,10 @@ class ExperimentResult:
         Whether the claim's *shape* held on every row.
     notes:
         Free-form commentary (substitutions, caveats).
+    elapsed_s:
+        End-to-end wall clock of the run (stamped by the driver).
+    meta:
+        Run provenance (seed, quick flag ...), persisted with artifacts.
     """
 
     experiment: str
@@ -37,6 +72,8 @@ class ExperimentResult:
     rows: list[dict[str, Any]] = field(default_factory=list)
     passed: bool = True
     notes: str = ""
+    elapsed_s: float = 0.0
+    meta: dict[str, Any] = field(default_factory=dict)
 
     def columns(self) -> list[str]:
         """Union of row keys, in first-appearance order."""
@@ -80,6 +117,29 @@ class ExperimentResult:
         lines.append("")
         return "\n".join(lines)
 
+    def to_json_dict(self) -> dict[str, Any]:
+        """JSON-serializable artifact form (what ``save_json`` writes)."""
+        return {
+            "experiment": self.experiment,
+            "claim": self.claim,
+            "passed": self.passed,
+            "notes": self.notes,
+            "elapsed_s": self.elapsed_s,
+            "meta": self.meta,
+            "columns": self.columns(),
+            "rows": self.rows,
+        }
+
+    def save_json(self, directory: str | Path) -> Path:
+        """Persist this result as ``<directory>/<experiment>.json``."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"{self.experiment}.json"
+        path.write_text(
+            json.dumps(self.to_json_dict(), indent=2, default=str) + "\n"
+        )
+        return path
+
 
 def _fmt(value: Any) -> str:
     if isinstance(value, bool):
@@ -109,6 +169,32 @@ def format_table(rows: list[dict[str, Any]]) -> str:
     for r in rendered:
         lines.append("  ".join(cell.ljust(w) for cell, w in zip(r, widths)))
     return "\n".join(lines)
+
+
+def save_results(
+    results: Iterable[ExperimentResult], directory: str | Path
+) -> list[Path]:
+    """Persist each result plus an ``index.json`` summary.
+
+    The index records (experiment, passed, elapsed, row count) per run so
+    dashboards can scan one small file instead of every artifact.
+    """
+    directory = Path(directory)
+    results = list(results)
+    paths = [result.save_json(directory) for result in results]
+    index = [
+        {
+            "experiment": r.experiment,
+            "passed": r.passed,
+            "elapsed_s": r.elapsed_s,
+            "num_rows": len(r.rows),
+            "artifact": p.name,
+        }
+        for r, p in zip(results, paths)
+    ]
+    index_path = directory / "index.json"
+    index_path.write_text(json.dumps(index, indent=2) + "\n")
+    return paths + [index_path]
 
 
 #: name -> run callable; populated by :func:`register` at import time.

@@ -1,20 +1,32 @@
-"""Named workload registry for the experiment suite.
+"""Scenario registry: declarative deployment specs for the experiment suite.
 
-A *workload* bundles a point process, an alpha value and a gray-zone
-policy into a ready-made alpha-UBG instance.  Every experiment refers to
-workloads by name so EXPERIMENTS.md rows are exactly reproducible from
-``(workload, n, seed)``.
+A *scenario* declares a deployment pattern (point process + dimension +
+suggested size sweep + default gray-zone policy) once; a *workload* is
+one concrete instance of a scenario -- a ready-made alpha-UBG built from
+``(scenario, n, seed, alpha, policy)``.  Every experiment refers to
+scenarios by name so EXPERIMENTS.md rows are exactly reproducible, and
+the CLI (``repro scenarios``) lists the registry for downstream users.
+
+Registering a new deployment pattern is one :func:`register_scenario`
+call with a ``(n, rng) -> PointSet`` factory; it immediately becomes
+available to ``make_workload``, the CLI and the sweep driver.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
 
 from ..exceptions import GraphError
 from ..geometry.points import PointSet
 from ..geometry.sampling import (
+    annulus_points,
     clustered_points,
     corridor_points,
+    dense_core_points,
+    grid_holes_points,
     grid_jitter_points,
     uniform_points,
 )
@@ -27,16 +39,173 @@ from ..graphs.build import (
 )
 from ..graphs.graph import Graph
 
-__all__ = ["Workload", "make_workload", "WORKLOAD_NAMES"]
+__all__ = [
+    "Workload",
+    "make_workload",
+    "WORKLOAD_NAMES",
+    "ScenarioSpec",
+    "SCENARIO_REGISTRY",
+    "register_scenario",
+    "get_scenario",
+    "scenario_names",
+]
 
-#: Names accepted by :func:`make_workload`.
-WORKLOAD_NAMES = (
-    "uniform",
-    "clustered",
-    "grid",
-    "corridor",
-    "uniform3d",
-)
+#: Factory signature: ``(n, rng, degree) -> PointSet``.  ``degree`` is the
+#: requested expected UDG degree; spacing-controlled patterns (grid,
+#: corridor, ring) fix density geometrically and ignore it.
+PointFactory = Callable[[int, np.random.Generator, float], PointSet]
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Declarative description of one deployment pattern.
+
+    Attributes
+    ----------
+    name:
+        Registry key (also the CLI ``--workload`` choice).
+    summary:
+        One-line description shown by ``repro scenarios``.
+    factory:
+        Point-process factory ``(n, rng, degree) -> PointSet``.
+    dim:
+        Euclidean dimension of the generated coordinates.
+    sizes:
+        Suggested node-count sweep for scaling studies.
+    default_policy:
+        Gray-zone adversary applied when ``alpha < 1`` and the caller
+        does not pick one (``"bernoulli"`` / ``"decay"`` / ``None``).
+    tags:
+        Free-form labels (``"planned"``, ``"adversarial"`` ...) for
+        filtering in reports.
+    """
+
+    name: str
+    summary: str
+    factory: PointFactory
+    dim: int = 2
+    sizes: tuple[int, ...] = (256, 1024, 4096)
+    default_policy: str | None = None
+    tags: tuple[str, ...] = ()
+
+    def as_row(self) -> dict[str, object]:
+        """Flat dict form for table/JSON rendering."""
+        return {
+            "name": self.name,
+            "dim": self.dim,
+            "sizes": "x".join(str(s) for s in self.sizes),
+            "gray_zone": self.default_policy or "keep-all",
+            "tags": ",".join(self.tags),
+            "summary": self.summary,
+        }
+
+
+#: name -> spec; populated by :func:`register_scenario` below.
+SCENARIO_REGISTRY: dict[str, ScenarioSpec] = {}
+
+
+def register_scenario(spec: ScenarioSpec) -> ScenarioSpec:
+    """Add ``spec`` to the registry (name must be unused)."""
+    if spec.name in SCENARIO_REGISTRY:
+        raise GraphError(f"scenario {spec.name!r} already registered")
+    SCENARIO_REGISTRY[spec.name] = spec
+    return spec
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Look up a scenario by name."""
+    try:
+        return SCENARIO_REGISTRY[name]
+    except KeyError:
+        raise GraphError(
+            f"unknown workload {name!r}; choose from {scenario_names()}"
+        ) from None
+
+
+def scenario_names() -> tuple[str, ...]:
+    """All registered scenario names, in registration order."""
+    return tuple(SCENARIO_REGISTRY)
+
+
+# ----------------------------------------------------------------------
+# Built-in deployment patterns
+# ----------------------------------------------------------------------
+def _ring_factory(n: int, rng: np.random.Generator, degree: float) -> PointSet:
+    # Scale the annulus with sqrt(n) so area density (hence UDG degree)
+    # stays constant across the size sweep.
+    outer = max(2.0, float(np.sqrt(n / 8.0)) * 1.9)
+    return annulus_points(n, inner=0.55 * outer, outer=outer, seed=rng)
+
+
+register_scenario(ScenarioSpec(
+    name="uniform",
+    summary="i.i.d. uniform box deployment at constant density",
+    factory=lambda n, rng, degree: uniform_points(
+        n, seed=rng, expected_degree=degree
+    ),
+    tags=("baseline",),
+))
+register_scenario(ScenarioSpec(
+    name="clustered",
+    summary="Gaussian villages: dense pockets, sparse in-between",
+    factory=lambda n, rng, degree: clustered_points(
+        n, seed=rng, num_clusters=max(3, n // 48), cluster_std=0.45,
+        expected_degree=degree,
+    ),
+    tags=("heterogeneous",),
+))
+register_scenario(ScenarioSpec(
+    name="grid",
+    summary="jittered lattice (planned sensor field)",
+    factory=lambda n, rng, degree: grid_jitter_points(
+        n, seed=rng, spacing=0.7, jitter=0.18
+    ),
+    tags=("planned",),
+))
+register_scenario(ScenarioSpec(
+    name="grid-holes",
+    summary="jittered lattice with disc voids (obstructed field)",
+    factory=lambda n, rng, degree: grid_holes_points(
+        n, seed=rng, spacing=0.7, jitter=0.18, num_holes=3
+    ),
+    default_policy="bernoulli",
+    tags=("planned", "adversarial"),
+))
+register_scenario(ScenarioSpec(
+    name="corridor",
+    summary="long thin strip (road / tunnel / pipeline monitoring)",
+    factory=lambda n, rng, degree: corridor_points(
+        n, seed=rng, length=max(10.0, n / 12.0)
+    ),
+    tags=("elongated",),
+))
+register_scenario(ScenarioSpec(
+    name="ring",
+    summary="uniform annulus (perimeter surveillance)",
+    factory=_ring_factory,
+    tags=("elongated",),
+))
+register_scenario(ScenarioSpec(
+    name="dense-core",
+    summary="Gaussian hotspot core inside a sparse uniform halo",
+    factory=lambda n, rng, degree: dense_core_points(
+        n, seed=rng, core_fraction=0.4, expected_degree=degree
+    ),
+    default_policy="decay",
+    tags=("heterogeneous",),
+))
+register_scenario(ScenarioSpec(
+    name="uniform3d",
+    summary="i.i.d. uniform deployment in three dimensions",
+    factory=lambda n, rng, degree: uniform_points(
+        n, seed=rng, dim=3, expected_degree=max(degree, 10.0)
+    ),
+    dim=3,
+    tags=("baseline", "3d"),
+))
+
+#: Names accepted by :func:`make_workload` (kept for API compatibility).
+WORKLOAD_NAMES = scenario_names()
 
 
 @dataclass(frozen=True)
@@ -46,7 +215,7 @@ class Workload:
     Attributes
     ----------
     name:
-        Workload name (see :data:`WORKLOAD_NAMES`).
+        Scenario name (see :data:`SCENARIO_REGISTRY`).
     points:
         Node coordinates.
     graph:
@@ -74,28 +243,6 @@ class Workload:
         return self.points.dim
 
 
-def _points_for(name: str, n: int, seed: int, degree: float) -> PointSet:
-    if name == "uniform":
-        return uniform_points(n, seed=seed, expected_degree=degree)
-    if name == "clustered":
-        return clustered_points(
-            n,
-            seed=seed,
-            num_clusters=max(3, n // 48),
-            cluster_std=0.45,
-            expected_degree=degree,
-        )
-    if name == "grid":
-        return grid_jitter_points(n, seed=seed, spacing=0.7, jitter=0.18)
-    if name == "corridor":
-        return corridor_points(n, seed=seed, length=max(10.0, n / 12.0))
-    if name == "uniform3d":
-        return uniform_points(
-            n, seed=seed, dim=3, expected_degree=max(degree, 10.0)
-        )
-    raise GraphError(f"unknown workload {name!r}; choose from {WORKLOAD_NAMES}")
-
-
 def make_workload(
     name: str,
     n: int,
@@ -105,12 +252,12 @@ def make_workload(
     policy: GrayZonePolicy | str | None = None,
     expected_degree: float = 8.0,
 ) -> Workload:
-    """Build the named workload instance.
+    """Build one instance of the named scenario.
 
     Parameters
     ----------
     name:
-        One of :data:`WORKLOAD_NAMES`.
+        A registered scenario name (see :func:`scenario_names`).
     n:
         Node count.
     seed:
@@ -119,14 +266,19 @@ def make_workload(
         Quasi-UBG parameter; 1.0 yields a plain UDG.
     policy:
         Gray-zone adversary for ``alpha < 1``; accepts a policy object or
-        one of the shorthand strings ``"bernoulli"`` / ``"decay"``.
+        one of the shorthand strings ``"bernoulli"`` / ``"decay"``.  When
+        omitted, the scenario's declared ``default_policy`` applies.
     expected_degree:
-        Target average degree for density-controlled point processes.
+        Target average degree for density-controlled point processes
+        (spacing-controlled patterns ignore it).
     """
-    points = _points_for(name, n, seed, expected_degree)
+    spec = get_scenario(name)
+    points = spec.factory(n, np.random.default_rng(seed), expected_degree)
     if alpha >= 1.0:
         graph = build_udg(points)
     else:
+        if policy is None:
+            policy = spec.default_policy
         if policy == "bernoulli":
             policy = BernoulliPolicy(0.5, seed=seed)
         elif policy == "decay":

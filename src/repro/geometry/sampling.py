@@ -26,8 +26,10 @@ __all__ = [
     "uniform_points",
     "clustered_points",
     "grid_jitter_points",
+    "grid_holes_points",
     "corridor_points",
     "annulus_points",
+    "dense_core_points",
 ]
 
 
@@ -156,6 +158,96 @@ def grid_jitter_points(
         sites.append(key)
     coords = np.asarray(sites, dtype=np.float64) * spacing
     coords += rng.uniform(-jitter, jitter, size=coords.shape)
+    return PointSet(coords)
+
+
+def grid_holes_points(
+    n: int,
+    *,
+    dim: int = 2,
+    spacing: float = 0.7,
+    jitter: float = 0.15,
+    num_holes: int = 3,
+    hole_radius: float | None = None,
+    seed: int | np.random.Generator | None = None,
+) -> PointSet:
+    """Perturbed lattice with circular voids (fields with obstructions).
+
+    Starts from an oversized jittered lattice, carves ``num_holes``
+    disc-shaped voids (centers drawn uniformly over the occupied box) and
+    keeps the first ``n`` surviving sites.  The lattice is grown until at
+    least ``n`` sites survive, so the result always has exactly ``n``
+    points.  Holes create non-convex coverage -- detours around voids are
+    what stresses stretch measurement beyond uniform fields.
+    """
+    if n < 1:
+        raise GraphError(f"need n >= 1, got {n}")
+    if num_holes < 0:
+        raise GraphError(f"need num_holes >= 0, got {num_holes}")
+    rng = make_rng(seed)
+    grow = max(n + 8, int(n * 1.5))
+    for _ in range(8):
+        lattice = grid_jitter_points(
+            grow, dim=dim, spacing=spacing, jitter=jitter, seed=rng
+        )
+        coords = lattice.coords
+        lower = coords.min(axis=0)
+        upper = coords.max(axis=0)
+        radius = (
+            hole_radius
+            if hole_radius is not None
+            else 0.12 * float((upper - lower).max() or spacing)
+        )
+        keep = np.ones(len(coords), dtype=bool)
+        for _ in range(num_holes):
+            center = rng.uniform(lower, upper)
+            gap = coords - center
+            keep &= np.einsum("ij,ij->i", gap, gap) > radius * radius
+        if int(keep.sum()) >= n:
+            return PointSet(coords[keep][:n])
+        grow *= 2
+    raise GraphError(
+        "hole carving kept removing too many sites; shrink hole_radius"
+    )
+
+
+def dense_core_points(
+    n: int,
+    *,
+    dim: int = 2,
+    core_fraction: float = 0.4,
+    core_std: float | None = None,
+    side: float | None = None,
+    expected_degree: float = 8.0,
+    seed: int | np.random.Generator | None = None,
+) -> PointSet:
+    """Dense Gaussian core surrounded by a sparse uniform halo.
+
+    A ``core_fraction`` share of the nodes concentrates around the box
+    center (urban core / base-station hotspot); the rest spread uniformly.
+    Exercises the short-edge clique phase (the core is nearly complete)
+    and the weight bound (long halo edges) in one instance.
+    """
+    if n < 1:
+        raise GraphError(f"need n >= 1, got {n}")
+    if not 0.0 <= core_fraction <= 1.0:
+        raise GraphError(
+            f"core_fraction must be in [0, 1], got {core_fraction}"
+        )
+    rng = make_rng(seed)
+    if side is None:
+        side = side_for_expected_degree(max(n, 2), expected_degree, dim)
+    if core_std is None:
+        core_std = 0.06 * side
+    core_n = int(round(core_fraction * n))
+    center = np.full(dim, side / 2.0)
+    core = rng.normal(center, core_std, size=(core_n, dim))
+    halo = rng.uniform(0.0, side, size=(n - core_n, dim))
+    coords = np.concatenate([core, halo], axis=0)
+    # Reflect any Gaussian outlier back into the box (same triangle-wave
+    # fold as clustered_points, for the positive-edge-weight invariant).
+    coords = np.mod(coords, 2.0 * side)
+    coords = np.where(coords > side, 2.0 * side - coords, coords)
     return PointSet(coords)
 
 

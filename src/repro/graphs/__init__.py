@@ -22,6 +22,7 @@ from .build import (
     build_udg,
 )
 from .components import (
+    component_labels,
     connected_components,
     is_clique,
     is_connected,
@@ -36,6 +37,8 @@ from .paths import (
     dijkstra_distance,
     k_hop_neighborhood,
     k_hop_subgraph,
+    multi_source_distances,
+    multi_source_trees,
     reconstruct_path,
     shortest_path_tree,
 )
@@ -62,7 +65,10 @@ __all__ = [
     "k_hop_subgraph",
     "shortest_path_tree",
     "reconstruct_path",
+    "multi_source_distances",
+    "multi_source_trees",
     "connected_components",
+    "component_labels",
     "is_connected",
     "largest_component",
     "is_clique",

@@ -11,8 +11,14 @@ These are the quantities the paper's three theorems bound:
 * **lightness** ``w(G') / w(MST(G))`` (Theorem 13);
 * **power cost** ``sum_u max_{v in N(u)} w(u, v)`` (Section 1.6(3)).
 
-Bulk shortest-path work uses :mod:`scipy.sparse.csgraph` when available and
-falls back to this package's Dijkstra otherwise.
+Everything here is an array kernel over :meth:`Graph.csr` /
+:meth:`Graph.edges_arrays`: per-edge shortest paths come from batched
+:func:`scipy.sparse.csgraph.dijkstra` calls with index-array gathers (no
+per-vertex dicts anywhere).  Stretch uses a distance-bounded escalation:
+edges whose endpoints sit in different spanner components are ``inf`` by
+the component labelling, and the rest are resolved with a doubling
+``limit`` so each Dijkstra only explores a small ball instead of the
+whole graph -- exact results at a fraction of the unbounded cost.
 """
 
 from __future__ import annotations
@@ -21,11 +27,13 @@ import math
 from dataclasses import dataclass
 
 import numpy as np
+from scipy.sparse.csgraph import connected_components as _cc
+from scipy.sparse.csgraph import dijkstra as _sp_dijkstra
 
 from ..exceptions import GraphError
 from .graph import Graph
 from .mst import mst_weight
-from .paths import bfs_hops, dijkstra
+from .paths import dijkstra, source_block_size
 
 __all__ = [
     "StretchReport",
@@ -62,24 +70,45 @@ class StretchReport:
     num_edges_checked: int
 
 
-def _spanner_distance_rows(spanner: Graph, sources: list[int]) -> dict[int, dict[int, float]]:
-    """Shortest-path distance rows from each source, scipy-accelerated."""
-    n = spanner.num_vertices
-    try:
-        from scipy.sparse.csgraph import dijkstra as sp_dijkstra
+def _edge_shortest_paths(
+    spanner: Graph, us: np.ndarray, vs: np.ndarray, ws: np.ndarray
+) -> np.ndarray:
+    """``sp_spanner(us[i], vs[i])`` for every edge, as one float array.
 
-        if not sources:
-            return {}
-        mat = spanner.to_scipy_csr()
-        rows = sp_dijkstra(mat, directed=False, indices=sources)
-        if len(sources) == 1:
-            rows = rows.reshape(1, n)
-        return {
-            src: {v: float(rows[i, v]) for v in range(n)}
-            for i, src in enumerate(sources)
-        }
-    except ImportError:  # pragma: no cover - scipy is a hard dependency
-        return {src: dijkstra(spanner, src) for src in sources}
+    Cross-component pairs are settled to ``inf`` up front from the
+    component labels; the remaining pairs are resolved by multi-source
+    Dijkstra with a doubling distance ``limit`` (start: 4x the longest
+    base edge), so the typical spanner-verification query only explores a
+    radius-``O(t * w_max)`` ball.  Finite distances under a limit are
+    exact, so escalation never changes a resolved value.
+    """
+    mat = spanner.csr()
+    n = spanner.num_vertices
+    sp = np.full(us.shape[0], np.inf)
+    if n == 0 or us.shape[0] == 0:
+        return sp
+    _, labels = _cc(mat, directed=False)
+    unresolved = labels[us] == labels[vs]
+    if not unresolved.any():
+        return sp
+    block = source_block_size(spanner)
+    limit = 4.0 * float(ws.max())
+    while unresolved.any():
+        pending = np.flatnonzero(unresolved)
+        sources = np.unique(us[pending])
+        if limit >= n * float(ws.max()):
+            limit = np.inf  # final escalation: nothing can be farther
+        for lo in range(0, sources.size, block):
+            src = sources[lo : lo + block]
+            rows = _sp_dijkstra(mat, directed=False, indices=src, limit=limit)
+            rows = rows.reshape(src.size, n)
+            take = pending[np.isin(us[pending], src)]
+            sp[take] = rows[np.searchsorted(src, us[take]), vs[take]]
+        unresolved[pending] = ~np.isfinite(sp[pending])
+        if not math.isfinite(limit):
+            break
+        limit *= 4.0
+    return sp
 
 
 def measure_stretch(base: Graph, spanner: Graph) -> StretchReport:
@@ -94,26 +123,19 @@ def measure_stretch(base: Graph, spanner: Graph) -> StretchReport:
             "vertex count mismatch: "
             f"{base.num_vertices} vs {spanner.num_vertices}"
         )
-    edges = list(base.edges())
-    if not edges:
+    us, vs, ws = base.edges_arrays()
+    m = us.shape[0]
+    if m == 0:
         return StretchReport(1.0, 1.0, None, 0)
-    sources = sorted({u for u, _, _ in edges})
-    rows = _spanner_distance_rows(spanner, sources)
-    worst: tuple[int, int] | None = None
-    max_ratio = 0.0
-    total = 0.0
-    for u, v, w in edges:
-        sp = rows[u].get(v, float("inf"))
-        ratio = sp / w
-        total += ratio
-        if ratio > max_ratio:
-            max_ratio = ratio
-            worst = (u, v)
+    sp = _edge_shortest_paths(spanner, us, vs, ws)
+    ratios = sp / ws
+    worst_i = int(np.argmax(ratios))
+    max_ratio = float(ratios[worst_i])
     return StretchReport(
         max_stretch=max_ratio,
-        mean_stretch=total / len(edges),
-        worst_edge=worst,
-        num_edges_checked=len(edges),
+        mean_stretch=float(ratios.mean()),
+        worst_edge=(int(us[worst_i]), int(vs[worst_i])),
+        num_edges_checked=m,
     )
 
 
@@ -145,33 +167,34 @@ def power_cost(graph: Graph) -> float:
 
     Isolated vertices contribute 0 (they need not transmit).
     """
-    total = 0.0
-    for u in graph.vertices():
-        best = 0.0
-        for _, w in graph.neighbor_items(u):
-            if w > best:
-                best = w
-        total += best
-    return total
+    us, vs, ws = graph.edges_arrays()
+    best = np.zeros(graph.num_vertices)
+    np.maximum.at(best, us, ws)
+    np.maximum.at(best, vs, ws)
+    return float(best.sum())
 
 
 def hop_diameter(graph: Graph) -> int:
-    """Largest hop eccentricity within any connected component."""
-    worst = 0
-    seen: set[int] = set()
-    for start in graph.vertices():
-        if start in seen:
-            continue
-        comp_hops = bfs_hops(graph, start)
-        seen.update(comp_hops)
-        # Two sweeps of BFS from an eccentric vertex give the component's
-        # diameter exactly only on trees; on general graphs we take the max
-        # eccentricity over all component members for exactness.
-        for v in comp_hops:
-            ecc = max(bfs_hops(graph, v).values(), default=0)
-            if ecc > worst:
-                worst = ecc
-    return worst
+    """Largest hop eccentricity within any connected component.
+
+    Computed as BFS-level arrays: blocks of unweighted multi-source
+    Dijkstra rows over the CSR snapshot, taking the largest finite entry
+    (exact on general graphs, not just trees).
+    """
+    n = graph.num_vertices
+    if n == 0 or graph.num_edges == 0:
+        return 0
+    mat = graph.csr()
+    block = source_block_size(graph)
+    worst = 0.0
+    for lo in range(0, n, block):
+        src = np.arange(lo, min(lo + block, n), dtype=np.int64)
+        rows = _sp_dijkstra(mat, directed=False, indices=src, unweighted=True)
+        rows = rows.reshape(src.size, n)
+        finite = rows[np.isfinite(rows)]
+        if finite.size:
+            worst = max(worst, float(finite.max()))
+    return int(worst)
 
 
 @dataclass(frozen=True)

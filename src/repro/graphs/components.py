@@ -2,48 +2,68 @@
 
 Phase 0 of the relaxed greedy algorithm (Section 2.1) partitions the
 short-edge graph ``G_0`` into connected components; Lemma 1 guarantees each
-component induces a clique in ``G``.  Both operations live here.
+component induces a clique in ``G``.  Both operations live here, computed
+as array kernels (union-find labels over the CSR snapshot), with the
+output contract of the original BFS implementation preserved exactly.
 """
 
 from __future__ import annotations
 
-from collections import deque
 from typing import Iterable
+
+import numpy as np
 
 from .graph import Graph
 
-__all__ = ["connected_components", "is_connected", "largest_component", "is_clique"]
+__all__ = ["connected_components", "component_labels", "is_connected", "largest_component", "is_clique"]
+
+
+def component_labels(graph: Graph) -> np.ndarray:
+    """Component label per vertex as an int array.
+
+    Labels are renumbered so that label ``k`` is the component containing
+    the ``k``-th smallest "first vertex" -- the order BFS-from-lowest-id
+    discovery would produce.
+    """
+    n = graph.num_vertices
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    from scipy.sparse.csgraph import connected_components as cc
+
+    _, raw = cc(graph.csr(), directed=False)
+    # Renumber by first occurrence so labels match discovery order.
+    _, first = np.unique(raw, return_index=True)
+    order = np.empty(first.size, dtype=np.int64)
+    order[np.argsort(first)] = np.arange(first.size)
+    return order[raw]
 
 
 def connected_components(graph: Graph) -> list[list[int]]:
     """Connected components as sorted vertex lists, largest-first.
 
-    Isolated vertices form singleton components.
+    Isolated vertices form singleton components.  Ties in size keep
+    discovery order (increasing smallest member), matching the reference
+    BFS implementation.
     """
-    seen: set[int] = set()
-    components: list[list[int]] = []
-    for start in graph.vertices():
-        if start in seen:
-            continue
-        comp = [start]
-        seen.add(start)
-        queue = deque([start])
-        while queue:
-            u = queue.popleft()
-            for v in graph.neighbors(u):
-                if v not in seen:
-                    seen.add(v)
-                    comp.append(v)
-                    queue.append(v)
-        comp.sort()
-        components.append(comp)
-    components.sort(key=len, reverse=True)
-    return components
+    labels = component_labels(graph)
+    if labels.size == 0:
+        return []
+    counts = np.bincount(labels)
+    members = np.argsort(labels, kind="stable")
+    bounds = np.concatenate([[0], np.cumsum(counts)])
+    comps = [
+        members[bounds[k] : bounds[k + 1]].tolist()
+        for k in range(counts.size)
+    ]
+    comps.sort(key=len, reverse=True)
+    return comps
 
 
 def is_connected(graph: Graph) -> bool:
     """Whether the graph has at most one connected component."""
-    return len(connected_components(graph)) <= 1
+    if graph.num_vertices == 0:
+        return True
+    return bool(component_labels(graph).max() == 0)
 
 
 def largest_component(graph: Graph) -> list[int]:

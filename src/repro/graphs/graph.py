@@ -30,13 +30,19 @@ class Graph:
         edges may be added and removed freely.
     """
 
-    __slots__ = ("_adj", "_num_edges")
+    __slots__ = ("_adj", "_num_edges", "_edges_cache", "_csr_cache")
 
     def __init__(self, num_vertices: int) -> None:
         if num_vertices < 0:
             raise GraphError(f"num_vertices must be >= 0, got {num_vertices}")
         self._adj: list[dict[int, float]] = [{} for _ in range(num_vertices)]
         self._num_edges = 0
+        self._edges_cache: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+        self._csr_cache = None
+
+    def _invalidate_caches(self) -> None:
+        self._edges_cache = None
+        self._csr_cache = None
 
     # ------------------------------------------------------------------
     # Basic queries
@@ -107,20 +113,26 @@ class Graph:
 
         Rows appear in :meth:`edges` order; the arrays feed the vectorized
         baselines and bulk analyses without per-edge Python iteration.
+        The result is cached until the next mutation and returned with
+        ``writeable=False`` -- callers needing scratch space must copy.
         """
-        m = self._num_edges
-        us = np.empty(m, dtype=np.int64)
-        vs = np.empty(m, dtype=np.int64)
-        ws = np.empty(m, dtype=np.float64)
-        i = 0
-        for u, nbrs in enumerate(self._adj):
-            for v, w in nbrs.items():
-                if u < v:
-                    us[i] = u
-                    vs[i] = v
-                    ws[i] = w
-                    i += 1
-        return us, vs, ws
+        if self._edges_cache is None:
+            m = self._num_edges
+            us = np.empty(m, dtype=np.int64)
+            vs = np.empty(m, dtype=np.int64)
+            ws = np.empty(m, dtype=np.float64)
+            i = 0
+            for u, nbrs in enumerate(self._adj):
+                for v, w in nbrs.items():
+                    if u < v:
+                        us[i] = u
+                        vs[i] = v
+                        ws[i] = w
+                        i += 1
+            for arr in (us, vs, ws):
+                arr.setflags(write=False)
+            self._edges_cache = (us, vs, ws)
+        return self._edges_cache
 
     def adjacency_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """CSR-style adjacency: ``(indptr, indices, weights)``.
@@ -163,6 +175,7 @@ class Graph:
             self._num_edges += 1
         self._adj[u][v] = float(weight)
         self._adj[v][u] = float(weight)
+        self._invalidate_caches()
 
     def remove_edge(self, u: int, v: int) -> None:
         """Delete the edge ``{u, v}``; raises if absent."""
@@ -173,6 +186,7 @@ class Graph:
         del self._adj[u][v]
         del self._adj[v][u]
         self._num_edges -= 1
+        self._invalidate_caches()
 
     def add_edges_from(
         self, edges: Iterable[tuple[int, int, float]]
@@ -231,6 +245,7 @@ class Graph:
             row[b] = wt
             adj[b][a] = wt
         self._num_edges += new_edges
+        self._invalidate_caches()
 
     # ------------------------------------------------------------------
     # Derived graphs
@@ -333,26 +348,31 @@ class Graph:
             out.add_edge(u, v, float(data.get("weight", 1.0)))
         return out
 
-    def to_scipy_csr(self):
-        """Convert to a symmetric :class:`scipy.sparse.csr_matrix`.
+    def csr(self):
+        """Symmetric :class:`scipy.sparse.csr_matrix` snapshot of the graph.
 
-        Used by the bulk shortest-path verification in
-        :mod:`repro.graphs.analysis`.
+        This is the single array interchange format the analysis, path,
+        MST and component kernels consume.  The matrix is built in O(m)
+        from :meth:`edges_arrays` and cached until the next mutation;
+        treat it as read-only (every kernel does).
         """
-        from scipy.sparse import csr_matrix
+        if self._csr_cache is None:
+            from scipy.sparse import coo_matrix
 
-        rows: list[int] = []
-        cols: list[int] = []
-        vals: list[float] = []
-        for u, v, w in self.edges():
-            rows.extend((u, v))
-            cols.extend((v, u))
-            vals.extend((w, w))
-        n = self.num_vertices
-        return csr_matrix(
-            (np.asarray(vals), (np.asarray(rows), np.asarray(cols))),
-            shape=(n, n),
-        )
+            us, vs, ws = self.edges_arrays()
+            n = self.num_vertices
+            self._csr_cache = coo_matrix(
+                (
+                    np.concatenate([ws, ws]),
+                    (np.concatenate([us, vs]), np.concatenate([vs, us])),
+                ),
+                shape=(n, n),
+            ).tocsr()
+        return self._csr_cache
+
+    def to_scipy_csr(self):
+        """Alias of :meth:`csr` (kept for API compatibility)."""
+        return self.csr()
 
     def __repr__(self) -> str:
         return f"Graph(n={self.num_vertices}, m={self.num_edges})"

@@ -9,12 +9,22 @@ The relaxed greedy algorithm issues three kinds of path queries:
   early-exit that makes the sequential algorithm fast);
 * hop-bounded BFS (the distributed algorithm's "gather information from
   ``<= k`` hops away" primitive, Theorem 9 / Section 3).
+
+The dict-based primitives remain the reference implementations for single
+queries; the ``multi_source_*`` variants answer whole batches of sources
+as numpy arrays over :meth:`repro.graphs.graph.Graph.csr` (one C-level
+:func:`scipy.sparse.csgraph.dijkstra` call per batch) and back the
+cluster-cover assignment, the cluster-graph construction and the routing
+tables.
 """
 
 from __future__ import annotations
 
 import heapq
 from collections import deque
+from typing import Sequence
+
+import numpy as np
 
 from ..exceptions import GraphError, NotReachableError
 from .graph import Graph
@@ -26,7 +36,110 @@ __all__ = [
     "k_hop_neighborhood",
     "k_hop_subgraph",
     "shortest_path_tree",
+    "multi_source_distances",
+    "multi_source_trees",
+    "NO_PREDECESSOR",
 ]
+
+#: Sentinel scipy's csgraph uses for "no predecessor" in tree arrays.
+NO_PREDECESSOR = -9999
+
+#: Soft bound on floats held by one batched distance block (rows x n).
+_BLOCK_ENTRIES = 4_000_000
+
+
+def _check_sources(graph: Graph, sources: Sequence[int]) -> np.ndarray:
+    idx = np.asarray(sources, dtype=np.int64)
+    if idx.ndim != 1:
+        raise GraphError("sources must be a one-dimensional sequence")
+    n = graph.num_vertices
+    if idx.size and (idx.min() < 0 or idx.max() >= n):
+        bad = idx[(idx < 0) | (idx >= n)][0]
+        raise GraphError(f"vertex {int(bad)} out of range [0, {n})")
+    return idx
+
+
+def source_block_size(graph: Graph) -> int:
+    """Number of sources per batched-dijkstra block that keeps one block's
+    distance matrix around :data:`_BLOCK_ENTRIES` floats (memory cap)."""
+    return max(1, _BLOCK_ENTRIES // max(1, graph.num_vertices))
+
+
+def prefer_batched_sources(
+    graph: Graph, sources: Sequence[int], cutoff: float | None
+) -> bool:
+    """Whether a batched C-level Dijkstra beats per-source dict Dijkstra.
+
+    The batched kernel pays O(n) dense-output setup per source; the dict
+    Dijkstra pays O(ball size) Python-heap work per source.  Probing one
+    ball from the first source puts the query on the right side of that
+    trade: batched wins once balls exceed roughly n/64 vertices (the
+    measured numpy-vs-Python constant gap), and always wins for
+    unbounded queries.  The probe ball is discarded -- re-searching one
+    small ball in the scalar fallback is noise next to the k that follow.
+    """
+    if cutoff is None:
+        return True
+    if len(sources) <= 1 or graph.num_vertices < 256:
+        return True  # too small for the constants to matter
+    ball = dijkstra(graph, sources[0], cutoff=cutoff)
+    return len(ball) * 64 >= graph.num_vertices
+
+
+def multi_source_distances(
+    graph: Graph,
+    sources: Sequence[int],
+    *,
+    cutoff: float | None = None,
+    unweighted: bool = False,
+) -> np.ndarray:
+    """Shortest-path distances from each source as a ``(k, n)`` array.
+
+    Row ``i`` holds ``sp(sources[i], .)``; unreachable vertices (or
+    vertices strictly beyond ``cutoff``) hold ``inf``.  With
+    ``unweighted=True`` distances are hop counts (BFS levels) instead of
+    weighted lengths.  Equivalent to ``k`` calls of :func:`dijkstra` but
+    executed as one C-level batch over the cached CSR snapshot.
+    """
+    from scipy.sparse.csgraph import dijkstra as sp_dijkstra
+
+    idx = _check_sources(graph, sources)
+    n = graph.num_vertices
+    if idx.size == 0:
+        return np.empty((0, n), dtype=np.float64)
+    limit = np.inf if cutoff is None else float(cutoff)
+    if cutoff is not None and cutoff < 0.0:
+        raise GraphError(f"cutoff must be >= 0, got {cutoff}")
+    mat = graph.csr()
+    rows = sp_dijkstra(
+        mat, directed=False, indices=idx, limit=limit, unweighted=unweighted
+    )
+    return rows.reshape(idx.size, n)
+
+
+def multi_source_trees(
+    graph: Graph, sources: Sequence[int]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Batched shortest-path trees: ``(dist, predecessors)`` arrays.
+
+    Both are ``(k, n)``; ``predecessors[i, v]`` is the parent of ``v`` on
+    a shortest path from ``sources[i]`` (:data:`NO_PREDECESSOR` for the
+    source itself and for unreachable vertices).  Array analogue of
+    :func:`shortest_path_tree` for whole batches of sources.
+    """
+    from scipy.sparse.csgraph import dijkstra as sp_dijkstra
+
+    idx = _check_sources(graph, sources)
+    n = graph.num_vertices
+    if idx.size == 0:
+        return (
+            np.empty((0, n), dtype=np.float64),
+            np.empty((0, n), dtype=np.int32),
+        )
+    dist, pred = sp_dijkstra(
+        graph.csr(), directed=False, indices=idx, return_predecessors=True
+    )
+    return dist.reshape(idx.size, n), pred.reshape(idx.size, n)
 
 
 def dijkstra(
@@ -199,4 +312,26 @@ def reconstruct_path(
     return path
 
 
-__all__.append("reconstruct_path")
+def reconstruct_path_array(
+    pred_row: np.ndarray, source: int, target: int
+) -> list[int]:
+    """Vertex sequence from ``source`` to ``target`` using one
+    predecessor row of :func:`multi_source_trees`.
+
+    Raises
+    ------
+    NotReachableError
+        If ``target`` is unreachable from ``source`` in the tree.
+    """
+    if target == source:
+        return [source]
+    if int(pred_row[target]) == NO_PREDECESSOR:
+        raise NotReachableError(f"no recorded path from {source} to {target}")
+    path = [target]
+    while path[-1] != source:
+        path.append(int(pred_row[path[-1]]))
+    path.reverse()
+    return path
+
+
+__all__.extend(["reconstruct_path", "reconstruct_path_array"])

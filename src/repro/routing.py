@@ -20,11 +20,14 @@ actually run on a spanner:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
 
 from .exceptions import GraphError
 from .geometry.points import PointSet
 from .graphs.graph import Graph
-from .graphs.paths import dijkstra, reconstruct_path, shortest_path_tree
+from .graphs.paths import dijkstra, multi_source_trees, reconstruct_path_array
 
 __all__ = [
     "RoutingTable",
@@ -57,18 +60,30 @@ class Route:
 class RoutingTable:
     """Per-source shortest-path next-hop table over a topology.
 
-    Tables are built lazily: the first query from a source runs one
-    Dijkstra and caches parents, matching how a deployed node would
-    compute its table once after topology control converges.
+    Tables are stored as distance/predecessor *arrays* (one row per
+    source).  They are built lazily: the first query from a source runs
+    one batched tree computation and caches the row, matching how a
+    deployed node would compute its table once after topology control
+    converges.  :meth:`warm` pre-computes many sources in one C-level
+    batch for bulk evaluations.
     """
 
     def __init__(self, topology: Graph) -> None:
         self._graph = topology
-        self._trees: dict[int, tuple[dict[int, float], dict[int, int]]] = {}
+        self._trees: dict[int, tuple[np.ndarray, np.ndarray]] = {}
 
-    def _tree(self, source: int):
+    def warm(self, sources: Iterable[int]) -> None:
+        """Batch-build tables for every source not yet cached."""
+        missing = sorted({int(s) for s in sources} - self._trees.keys())
+        if not missing:
+            return
+        dist, pred = multi_source_trees(self._graph, missing)
+        for i, s in enumerate(missing):
+            self._trees[s] = (dist[i], pred[i])
+
+    def _tree(self, source: int) -> tuple[np.ndarray, np.ndarray]:
         if source not in self._trees:
-            self._trees[source] = shortest_path_tree(self._graph, source)
+            self.warm([source])
         return self._trees[source]
 
     def next_hop(self, source: int, target: int) -> int | None:
@@ -76,23 +91,23 @@ class RoutingTable:
 
         Returns ``None`` when ``target`` is unreachable.
         """
-        dist, parent = self._tree(source)
+        dist, pred = self._tree(source)
         if target == source:
             return source
-        if target not in dist:
+        if not np.isfinite(dist[target]):
             return None
         hop = target
-        while parent[hop] != source:
-            hop = parent[hop]
+        while int(pred[hop]) != source:
+            hop = int(pred[hop])
         return hop
 
     def route(self, source: int, target: int) -> Route:
         """Full shortest route with cost."""
-        dist, parent = self._tree(source)
-        if target not in dist:
+        dist, pred = self._tree(source)
+        if not np.isfinite(dist[target]):
             return Route(path=(), cost=float("inf"), delivered=False)
-        path = reconstruct_path(parent, source, target)
-        return Route(path=tuple(path), cost=dist[target], delivered=True)
+        path = reconstruct_path_array(pred, source, target)
+        return Route(path=tuple(path), cost=float(dist[target]), delivered=True)
 
     def route_stretch(
         self, base: Graph, source: int, target: int

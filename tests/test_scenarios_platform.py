@@ -1,0 +1,160 @@
+"""Scenario registry + experiment-platform (artifacts, pool, CLI) tests."""
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.exceptions import GraphError
+from repro.experiments.run_all import main as run_all_main, run_experiments
+from repro.experiments.runner import ExperimentResult, save_results, stopwatch
+from repro.experiments.workloads import (
+    SCENARIO_REGISTRY,
+    WORKLOAD_NAMES,
+    ScenarioSpec,
+    get_scenario,
+    make_workload,
+    register_scenario,
+    scenario_names,
+)
+
+
+class TestScenarioRegistry:
+    def test_at_least_six_patterns(self):
+        assert len(SCENARIO_REGISTRY) >= 6
+
+    def test_expected_names_present(self):
+        expected = {
+            "uniform", "clustered", "grid", "grid-holes",
+            "corridor", "ring", "dense-core", "uniform3d",
+        }
+        assert expected <= set(scenario_names())
+
+    def test_workload_names_alias(self):
+        assert WORKLOAD_NAMES == scenario_names()
+
+    def test_specs_carry_dims_and_sizes(self):
+        for spec in SCENARIO_REGISTRY.values():
+            assert spec.dim in (2, 3)
+            assert len(spec.sizes) >= 2
+            assert spec.summary
+
+    def test_every_scenario_builds_a_valid_ubg(self):
+        for name in scenario_names():
+            w = make_workload(name, 48, seed=9)
+            assert w.n == 48
+            assert w.graph.max_edge_weight() <= 1.0 + 1e-9
+            assert w.dim == get_scenario(name).dim
+
+    def test_determinism_per_scenario(self):
+        for name in ("grid-holes", "ring", "dense-core"):
+            a = make_workload(name, 50, seed=4)
+            b = make_workload(name, 50, seed=4)
+            assert a.graph == b.graph
+
+    def test_default_gray_zone_policy_applies(self):
+        w = make_workload("grid-holes", 60, seed=1, alpha=0.7)
+        full = make_workload("grid-holes", 60, seed=1, alpha=0.7,
+                             policy="bernoulli")
+        assert w.graph == full.graph  # spec default == explicit bernoulli
+
+    def test_unknown_scenario(self):
+        with pytest.raises(GraphError):
+            get_scenario("nope")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(GraphError):
+            register_scenario(ScenarioSpec(
+                name="uniform", summary="dup",
+                factory=lambda n, rng: None,
+            ))
+
+    def test_as_row_is_flat(self):
+        row = get_scenario("corridor").as_row()
+        assert row["name"] == "corridor"
+        assert isinstance(row["sizes"], str)
+
+
+class TestArtifacts:
+    def test_save_results_writes_artifacts_and_index(self, tmp_path):
+        results = [
+            ExperimentResult("EX1", "claim one", rows=[{"a": 1}],
+                             elapsed_s=0.5),
+            ExperimentResult("EX2", "claim two", rows=[{"b": 2.0}],
+                             passed=False),
+        ]
+        paths = save_results(results, tmp_path)
+        assert {p.name for p in paths} == {
+            "EX1.json", "EX2.json", "index.json"
+        }
+        payload = json.loads((tmp_path / "EX1.json").read_text())
+        assert payload["claim"] == "claim one"
+        assert payload["rows"] == [{"a": 1}]
+        index = json.loads((tmp_path / "index.json").read_text())
+        assert [e["experiment"] for e in index] == ["EX1", "EX2"]
+        assert index[1]["passed"] is False
+
+    def test_stopwatch_stamps_row(self):
+        row = {}
+        with stopwatch(row):
+            pass
+        assert row["wall_s"] >= 0.0
+
+    def test_run_all_persists(self, tmp_path, capsys):
+        out_dir = tmp_path / "res"
+        assert run_all_main(
+            ["--quick", "--only", "E7", "--results-dir", str(out_dir)]
+        ) == 0
+        payload = json.loads((out_dir / "E7.json").read_text())
+        assert payload["experiment"] == "E7"
+        assert payload["passed"] is True
+        assert payload["elapsed_s"] > 0
+        assert payload["meta"]["quick"] is True
+        assert any("wall_s" in row for row in payload["rows"])
+
+
+class TestWorkerPool:
+    def test_parallel_matches_serial(self):
+        serial = run_experiments(["E6", "E7"], quick=True, seed=3, jobs=1)
+        parallel = run_experiments(["E6", "E7"], quick=True, seed=3, jobs=2)
+        assert [r.experiment for r in parallel] == ["E6", "E7"]
+        def strip_timing(rows):
+            return [
+                {k: v for k, v in row.items() if k != "wall_s"}
+                for row in rows
+            ]
+
+        for a, b in zip(serial, parallel):
+            assert a.passed and b.passed
+            # Measurements (not wall clocks) deterministic across processes.
+            assert strip_timing(a.rows) == strip_timing(b.rows)
+
+
+class TestCliPlatform:
+    def test_scenarios_table(self, capsys):
+        assert cli_main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "dense-core" in out and "gray_zone" in out
+
+    def test_scenarios_json(self, capsys):
+        assert cli_main(["scenarios", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert len(rows) >= 6
+        assert {"name", "dim", "summary"} <= set(rows[0])
+
+    def test_experiments_forwards_results_dir(self, tmp_path, capsys):
+        out_dir = tmp_path / "artifacts"
+        code = cli_main([
+            "experiments", "--quick", "--only", "E7",
+            "--results-dir", str(out_dir), "--jobs", "1",
+        ])
+        assert code == 0
+        assert (out_dir / "index.json").exists()
+
+    def test_generate_accepts_new_scenarios(self, tmp_path):
+        for name in ("ring", "dense-core", "grid-holes"):
+            code = cli_main([
+                "generate", str(tmp_path / f"{name}.json"),
+                "--workload", name, "--n", "40",
+            ])
+            assert code == 0

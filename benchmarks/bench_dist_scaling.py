@@ -1,0 +1,56 @@
+"""Distributed-build scaling benches (ISSUE 3 acceptance).
+
+The full distributed relaxed greedy -- batch-tier MIS protocol runs,
+vectorized proximity graphs, phase-0 flooding -- must complete n = 5000
+in under 60 s; n = 1000 doubles as the CI-sized smoke row.  Wall times
+land in the ``results/bench`` trajectory store.
+
+Run everything (the n=5000 row takes ~30 s)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_dist_scaling.py -s
+
+CI smoke runs ``-k "not 5000"``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distributed.dist_spanner import DistributedRelaxedGreedy
+from repro.experiments.workloads import make_workload
+from repro.graphs.analysis import measure_stretch
+from repro.params import SpannerParams
+
+
+@pytest.mark.parametrize("n,budget_s", [(1000, 20.0), (5000, 60.0)])
+def test_distributed_build_scaling(benchmark, bench_store, n, budget_s):
+    params = SpannerParams.from_epsilon(0.5)
+    workload = make_workload("uniform", n, seed=1234 + n)
+    builder = DistributedRelaxedGreedy(params, seed=0)
+
+    build = benchmark.pedantic(
+        lambda: builder.build(workload.graph, workload.points.distance),
+        rounds=1,
+        iterations=1,
+    )
+    wall_s = benchmark.stats.stats.mean
+    stretch = measure_stretch(workload.graph, build.spanner).max_stretch
+    print(
+        f"\ndistributed n={n}: {wall_s:.2f}s, rounds={build.total_rounds}, "
+        f"mis={build.mis_invocations}, stretch={stretch:.3f}"
+    )
+    bench_store.append(
+        f"dist-build-n{n}",
+        {
+            "n": n,
+            "wall_s": wall_s,
+            "rounds": build.total_rounds,
+            "mis_invocations": build.mis_invocations,
+            "edges": build.spanner.num_edges,
+            "stretch": stretch,
+        },
+    )
+    assert stretch <= params.t * (1.0 + 1e-9)
+    assert wall_s < budget_s, (
+        f"distributed build at n={n} took {wall_s:.1f}s (budget {budget_s}s)"
+    )

@@ -1,0 +1,128 @@
+"""Round-engine benches: batch tier vs scalar reference tier.
+
+ISSUE 3 acceptance: the batch tier must run Luby MIS rounds >= 10x
+faster than the scalar tier at n = 2000 while producing the *identical*
+``RunResult`` (rounds, messages, words, outputs) -- the speedup is only
+meaningful if the semantics are pinned.  The measured ratio is appended
+to the ``results/bench`` trajectory store so the speedup is tracked
+run-to-run, not just printed.
+
+Run with ``-s`` to see the recorded numbers::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_round_engine.py -s
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.distributed.engine import SynchronousNetwork
+from repro.distributed.protocols.bfs import BFSTree
+from repro.distributed.protocols.flooding import KHopGather
+from repro.distributed.protocols.luby import LubyMIS
+from repro.geometry.sampling import uniform_points
+from repro.graphs.build import build_udg
+
+
+def _network(n: int, expected_degree: float = 12.0) -> SynchronousNetwork:
+    points = uniform_points(n, seed=4000 + n, expected_degree=expected_degree)
+    return SynchronousNetwork(build_udg(points))
+
+
+def _same_result(a, b) -> bool:
+    return (
+        a.rounds == b.rounds
+        and a.messages == b.messages
+        and a.words == b.words
+        and a.outputs == b.outputs
+    )
+
+
+def test_luby_batch_speedup_n2000(benchmark, bench_store):
+    """Acceptance record: batch Luby >= 10x scalar Luby at n=2000."""
+    n = 2000
+    net = _network(n)
+    protocol = LubyMIS(seed=7)
+
+    t0 = time.perf_counter()
+    scalar = net.run(protocol, engine="scalar")
+    scalar_s = time.perf_counter() - t0
+
+    batch = benchmark(net.run, protocol, engine="batch")
+    t0 = time.perf_counter()
+    net.run(protocol, engine="batch")
+    batch_s = time.perf_counter() - t0
+
+    assert _same_result(scalar, batch)
+    speedup = scalar_s / batch_s
+    print(
+        f"\nluby n={n}: scalar {scalar_s:.3f}s, batch {batch_s:.4f}s, "
+        f"speedup {speedup:.1f}x, rounds={batch.rounds}"
+    )
+    bench_store.append(
+        "round-engine-luby",
+        {
+            "n": n,
+            "scalar_s": scalar_s,
+            "batch_s": batch_s,
+            "speedup": speedup,
+            "rounds": batch.rounds,
+            "messages": batch.messages,
+        },
+    )
+    assert speedup >= 10.0, (
+        f"batch Luby only {speedup:.1f}x faster than the scalar tier"
+    )
+
+
+def test_flooding_batch_speedup(benchmark, bench_store):
+    """2-hop gather at n=2000: batch beats scalar, same RunResult."""
+    n = 2000
+    net = _network(n)
+    facts = {u: {("edge", u, u + 1)} for u in range(0, n, 3)}
+    protocol = KHopGather(facts, k=2)
+
+    t0 = time.perf_counter()
+    scalar = net.run(protocol, engine="scalar")
+    scalar_s = time.perf_counter() - t0
+
+    batch = benchmark(net.run, protocol, engine="batch")
+    t0 = time.perf_counter()
+    net.run(protocol, engine="batch")
+    batch_s = time.perf_counter() - t0
+
+    assert _same_result(scalar, batch)
+    speedup = scalar_s / batch_s
+    print(f"\nkhop n={n}: scalar {scalar_s:.3f}s, batch {batch_s:.4f}s, "
+          f"speedup {speedup:.1f}x")
+    bench_store.append(
+        "round-engine-khop",
+        {"n": n, "scalar_s": scalar_s, "batch_s": batch_s, "speedup": speedup},
+    )
+    assert speedup >= 2.0
+
+
+def test_bfs_batch_speedup(benchmark, bench_store):
+    """BFS wave at n=2000: batch beats scalar, same RunResult."""
+    n = 2000
+    net = _network(n)
+    protocol = BFSTree(root=0, patience=n)
+
+    t0 = time.perf_counter()
+    scalar = net.run(protocol, engine="scalar")
+    scalar_s = time.perf_counter() - t0
+
+    batch = benchmark(net.run, protocol, engine="batch")
+    t0 = time.perf_counter()
+    net.run(protocol, engine="batch")
+    batch_s = time.perf_counter() - t0
+
+    assert _same_result(scalar, batch)
+    speedup = scalar_s / batch_s
+    print(f"\nbfs n={n}: scalar {scalar_s:.3f}s, batch {batch_s:.4f}s, "
+          f"speedup {speedup:.1f}x")
+    bench_store.append(
+        "round-engine-bfs",
+        {"n": n, "scalar_s": scalar_s, "batch_s": batch_s, "speedup": speedup},
+    )
+    assert speedup >= 2.0

@@ -7,17 +7,34 @@ claim's shape so a performance run doubles as a correctness run.  The
 printed tables land in stdout (run with ``-s`` to see them); the recorded
 rows for the paper-facing record live in EXPERIMENTS.md, produced by
 ``python -m repro.experiments.run_all``.
+
+Persistence: every ``run_experiment`` invocation -- and any bench using
+the ``bench_store`` fixture directly -- appends its measurement to the
+JSON trajectory store under ``results/bench/`` (one file per bench plus
+``index.json``), so BENCH numbers accumulate run-to-run instead of
+evaporating with the terminal scrollback.  Point ``REPRO_BENCH_DIR`` at
+another directory to redirect.
 """
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
 
 @pytest.fixture()
-def run_experiment(benchmark):
-    """Run a registered experiment under the benchmark clock and assert
-    its claim held."""
+def bench_store():
+    """The run-to-run JSON trajectory store for bench measurements."""
+    from repro.experiments.bench_store import BenchStore
+
+    return BenchStore(os.environ.get("REPRO_BENCH_DIR", "results/bench"))
+
+
+@pytest.fixture()
+def run_experiment(benchmark, bench_store):
+    """Run a registered experiment under the benchmark clock, assert its
+    claim held, and append the measurement to the trajectory store."""
     from repro.experiments import EXPERIMENT_REGISTRY
 
     def _run(name: str, quick: bool = True, seed: int = 0):
@@ -28,6 +45,16 @@ def run_experiment(benchmark):
         print()
         print(result.to_text())
         assert result.passed, f"{name} claim-shape failed"
+        bench_store.append(
+            f"experiment-{name}",
+            {
+                "quick": quick,
+                "seed": seed,
+                "passed": result.passed,
+                "wall_s": benchmark.stats.stats.mean,
+                "rows": result.rows,
+            },
+        )
         return result
 
     return _run

@@ -1,14 +1,33 @@
 """Small shared numpy idioms used across the batch pipelines.
 
 These are the vectorized building blocks that would otherwise be
-copy-pasted between the grid index, the builders and the baselines.
+copy-pasted between the grid index, the builders, the baselines and the
+batch round engine:
+
+* run expansion and offset cubes (grid/builder pipelines);
+* the counter-based SplitMix64/Murmur3 hash family that gives the
+  stochastic gray-zone policies and the batch protocols their
+  order-independent, scalar==batch randomness;
+* CSR segment reductions (min/max/sum/any over ``indptr`` rows) used by
+  the batch round engine's mailbox reductions.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["run_expand", "offset_cube"]
+__all__ = [
+    "run_expand",
+    "offset_cube",
+    "seed_state",
+    "mix64",
+    "counter_uniforms",
+    "counter_uniform",
+    "segment_sum",
+    "segment_any",
+    "segment_min",
+    "segment_max",
+]
 
 
 def run_expand(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
@@ -33,3 +52,120 @@ def offset_cube(dim: int, reach: int) -> np.ndarray:
     side = np.arange(-reach, reach + 1, dtype=np.int64)
     grids = np.meshgrid(*([side] * dim), indexing="ij")
     return np.stack([g.ravel() for g in grids], axis=1)
+
+
+# ----------------------------------------------------------------------
+# Counter-based hashing (stochastic policies, batch protocol randomness)
+# ----------------------------------------------------------------------
+_U64_MASK = 0xFFFFFFFFFFFFFFFF
+_GOLDEN_INT = 0x9E3779B97F4A7C15
+_GOLDEN = np.uint64(_GOLDEN_INT)
+_MIX_SHIFT = np.uint64(33)
+_MIX_MUL1 = np.uint64(0xFF51AFD7ED558CCD)
+_MIX_MUL2 = np.uint64(0xC4CEB9FE1A85EC53)
+_INV_2_53 = float(2.0**-53)
+
+
+def mix64(x: np.ndarray) -> np.ndarray:
+    """Murmur3 fmix64 finalizer, elementwise on uint64 arrays (in place)."""
+    x ^= x >> _MIX_SHIFT
+    x *= _MIX_MUL1
+    x ^= x >> _MIX_SHIFT
+    x *= _MIX_MUL2
+    x ^= x >> _MIX_SHIFT
+    return x
+
+
+def seed_state(seed: int) -> np.uint64:
+    """Premixed uint64 hash state for an integer seed.
+
+    Computed in Python ints (mod-2^64 wraparound is intended there and
+    silent, unlike numpy scalar arithmetic, which warns on overflow for
+    negative or huge seeds) and equal to :func:`mix64` of the masked seed
+    plus the golden-ratio increment.  Callers cache this at construction
+    so batch calls skip one full array mixing round.
+    """
+    x = (seed + _GOLDEN_INT) & _U64_MASK
+    x ^= x >> 33
+    x = (x * 0xFF51AFD7ED558CCD) & _U64_MASK
+    x ^= x >> 33
+    x = (x * 0xC4CEB9FE1A85EC53) & _U64_MASK
+    x ^= x >> 33
+    return np.uint64(x)
+
+
+def counter_uniforms(
+    state: np.uint64, a: np.ndarray, b: np.ndarray
+) -> np.ndarray:
+    """Uniform ``[0, 1)`` deviates from a counter-based hash of the
+    premixed ``state`` (see :func:`seed_state`) and the *ordered* integer
+    pair ``(a, b)``.
+
+    Stateless and vectorized: the deviate depends only on the seed and
+    the two counters, so batch evaluation, scalar evaluation and any
+    evaluation order produce identical values.  Unlike the gray-zone
+    pair hash, the pair is NOT canonicalized -- ``(3, 5)`` and ``(5, 3)``
+    hash differently, which is what per-(node, iteration) protocol draws
+    need.
+    """
+    lo = np.asarray(a, dtype=np.int64).astype(np.uint64)
+    hi = np.asarray(b, dtype=np.int64).astype(np.uint64)
+    h = mix64(state ^ (lo + _GOLDEN))
+    h = mix64(h ^ (hi + _GOLDEN))
+    # Top 53 bits give a dyadic uniform in [0, 1), exactly representable.
+    return (h >> np.uint64(11)).astype(np.float64) * _INV_2_53
+
+
+def counter_uniform(state: np.uint64, a: int, b: int) -> float:
+    """Scalar convenience wrapper over :func:`counter_uniforms`."""
+    arr = counter_uniforms(
+        state,
+        np.asarray([a], dtype=np.int64),
+        np.asarray([b], dtype=np.int64),
+    )
+    return float(arr[0])
+
+
+# ----------------------------------------------------------------------
+# CSR segment reductions
+# ----------------------------------------------------------------------
+def _segment_reduce(
+    ufunc: np.ufunc, values: np.ndarray, indptr: np.ndarray, empty
+) -> np.ndarray:
+    """``ufunc``-reduce ``values`` over the CSR rows delimited by
+    ``indptr``; empty rows yield ``empty``.
+
+    ``np.ufunc.reduceat`` mishandles empty segments (it returns the
+    element *at* the boundary instead of the identity), so the reduction
+    runs over the non-empty rows only and the rest are filled directly.
+    """
+    n = indptr.size - 1
+    out = np.full(n, empty, dtype=values.dtype)
+    nonempty = indptr[:-1] < indptr[1:]
+    if nonempty.any():
+        out[nonempty] = ufunc.reduceat(values, indptr[:-1][nonempty])
+    return out
+
+
+def segment_sum(values: np.ndarray, indptr: np.ndarray) -> np.ndarray:
+    """Row sums of a CSR-segmented value array (0 for empty rows)."""
+    return _segment_reduce(np.add, values, indptr, empty=values.dtype.type(0))
+
+
+def segment_any(mask: np.ndarray, indptr: np.ndarray) -> np.ndarray:
+    """Row-wise ``any`` of a CSR-segmented boolean array."""
+    return _segment_reduce(np.logical_or, mask, indptr, empty=False)
+
+
+def segment_min(
+    values: np.ndarray, indptr: np.ndarray, empty=np.inf
+) -> np.ndarray:
+    """Row minima of a CSR-segmented value array (``empty`` for empty rows)."""
+    return _segment_reduce(np.minimum, values, indptr, empty=empty)
+
+
+def segment_max(
+    values: np.ndarray, indptr: np.ndarray, empty=-np.inf
+) -> np.ndarray:
+    """Row maxima of a CSR-segmented value array (``empty`` for empty rows)."""
+    return _segment_reduce(np.maximum, values, indptr, empty=empty)

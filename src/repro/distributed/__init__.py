@@ -1,8 +1,16 @@
-"""Distributed substrate: synchronous engine, protocols, and the
-Section 3 distributed relaxed greedy algorithm."""
+"""Distributed substrate: two-tier synchronous engine (per-node scalar
+reference + all-nodes-at-once batch tier), protocols, and the Section 3
+distributed relaxed greedy algorithm."""
 
 from .dist_spanner import DistributedRelaxedGreedy, DistributedSpannerResult
-from .engine import NodeContext, Protocol, RunResult, SynchronousNetwork
+from .engine import (
+    BatchContext,
+    BatchProtocol,
+    NodeContext,
+    Protocol,
+    RunResult,
+    SynchronousNetwork,
+)
 from .ledger import LedgerEntry, RoundLedger
 from .local_views import (
     LocalView,
@@ -25,6 +33,8 @@ from .protocols.coloring import cv_rounds_needed
 __all__ = [
     "SynchronousNetwork",
     "Protocol",
+    "BatchProtocol",
+    "BatchContext",
     "NodeContext",
     "RunResult",
     "RoundLedger",

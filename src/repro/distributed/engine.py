@@ -13,8 +13,34 @@ computation, and emits at most one message per neighbor.  The engine:
 * refuses to run past ``max_rounds`` (a protocol that fails to halt is a
   bug, not a workload).
 
-Protocols keep their per-node state in the :class:`NodeContext` handed to
-them, so a protocol object itself is reusable across runs.
+Two execution tiers
+-------------------
+The engine executes protocols on one of two tiers with identical
+semantics and identical :class:`RunResult` accounting:
+
+* the **scalar tier** (:meth:`SynchronousNetwork.run` with
+  ``engine="scalar"``) steps one :class:`NodeContext` at a time through
+  ``on_start`` / ``on_round`` -- the readable per-node reference
+  implementation of the model;
+* the **batch tier** (``engine="batch"``) steps *all active nodes at
+  once*: protocols subclassing :class:`BatchProtocol` receive a
+  :class:`BatchContext` holding the topology as CSR arrays (one *slot*
+  per directed edge, addressed exactly like the rows of
+  :meth:`repro.graphs.graph.Graph.csr`), exchange whole mailbox arrays
+  per round via the reverse-slot permutation
+  (:meth:`BatchContext.exchange`), replace the per-node halted checks
+  with a boolean active mask, and report message/word counts through
+  ufunc reductions (:meth:`BatchContext.post`).
+
+``engine="auto"`` (the default) picks the batch tier whenever the
+protocol supports it.  The scalar tier remains the semantic reference:
+the test-suite pins ``RunResult`` equality -- rounds, messages, words and
+outputs, in identical insertion order -- between the two tiers on seeded
+protocol runs.
+
+Protocols keep their per-node state in the :class:`NodeContext` (scalar)
+or the shared ``state`` dict of the :class:`BatchContext` (batch) handed
+to them, so a protocol object itself is reusable across runs.
 """
 
 from __future__ import annotations
@@ -22,11 +48,20 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping
 
+import numpy as np
+
 from ..exceptions import ProtocolError, SimulationLimitError
 from ..graphs.graph import Graph
 from .messages import payload_words
 
-__all__ = ["NodeContext", "Protocol", "RunResult", "SynchronousNetwork"]
+__all__ = [
+    "NodeContext",
+    "Protocol",
+    "BatchProtocol",
+    "BatchContext",
+    "RunResult",
+    "SynchronousNetwork",
+]
 
 
 @dataclass
@@ -83,6 +118,146 @@ class Protocol:
         return None
 
 
+class BatchContext:
+    """Whole-network execution context for the batch tier.
+
+    The communication topology is exposed as CSR arrays over *compact*
+    node indices ``0 .. n-1`` (``labels[i]`` recovers the original node
+    id; for a :class:`repro.graphs.Graph` topology the arrays alias the
+    structure of :meth:`Graph.csr`).  Each directed edge occupies one
+    *slot*: slot ``e`` in ``[indptr[u], indptr[u+1])`` is the channel on
+    which node ``u`` *sends to* neighbor ``indices[e]``; the reverse
+    channel is slot ``rev[e]``.  A per-round mailbox exchange is one
+    gather: ``inbox = outbox.take(rev)`` aligns every received payload
+    with the receiver's own slot row, after which per-node reductions are
+    ``reduceat`` segments over ``indptr``.
+
+    Attributes
+    ----------
+    labels:
+        ``(n,)`` compact index -> original node id (ascending, so output
+        dict insertion order matches the scalar tier's sorted order).
+    indptr, indices:
+        CSR adjacency over compact indices (neighbor lists ascending).
+    sources:
+        ``(2m,)`` slot -> sending node (row owner), i.e.
+        ``repeat(arange(n), degrees)``.
+    rev:
+        ``(2m,)`` slot of the reversed directed edge.
+    degrees:
+        ``(n,)`` node degrees.
+    active:
+        ``(n,)`` boolean mask of nodes still participating; the batch
+        analogue of the per-node ``halted`` flag (cleared via
+        :meth:`halt`).
+    state:
+        Protocol-owned state bag (typically holding numpy arrays).
+    """
+
+    __slots__ = (
+        "labels",
+        "indptr",
+        "indices",
+        "sources",
+        "rev",
+        "degrees",
+        "active",
+        "state",
+        "_messages",
+        "_words",
+        "_sent_in_round",
+    )
+
+    def __init__(
+        self,
+        labels: np.ndarray,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        rev: np.ndarray,
+    ) -> None:
+        self.labels = labels
+        self.indptr = indptr
+        self.indices = indices
+        self.rev = rev
+        self.degrees = np.diff(indptr)
+        self.sources = np.repeat(
+            np.arange(labels.size, dtype=np.int64), self.degrees
+        )
+        self.active = np.ones(labels.size, dtype=bool)
+        self.state: dict[str, Any] = {}
+        self._messages = 0
+        self._words = 0
+        self._sent_in_round = False
+
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of participating nodes."""
+        return self.labels.size
+
+    @property
+    def num_slots(self) -> int:
+        """Number of directed-edge slots (twice the edge count)."""
+        return self.indices.size
+
+    def halt(self, nodes: np.ndarray) -> None:
+        """Deactivate ``nodes`` (boolean mask or index array)."""
+        self.active[nodes] = False
+
+    def exchange(self, outbox: np.ndarray) -> np.ndarray:
+        """Deliver a per-slot outbox array: ``result[e]`` is what the
+        neighbor on slot ``e`` sent *to* the slot's owner this round."""
+        return outbox.take(self.rev, axis=0)
+
+    def post(self, messages: int, words: int) -> None:
+        """Account ``messages`` messages totalling ``words`` words sent
+        this round (callers compute both via ufunc reductions)."""
+        messages = int(messages)
+        if messages < 0 or words < 0:
+            raise ProtocolError(
+                f"cannot post negative traffic ({messages} msgs, {words} words)"
+            )
+        if messages:
+            self._messages += messages
+            self._words += int(words)
+            self._sent_in_round = True
+
+    def post_slots(self, mask: np.ndarray, words_each: int) -> None:
+        """Account one message per set slot in ``mask``, ``words_each``
+        words apiece (the fixed-size-payload fast path)."""
+        count = int(np.count_nonzero(mask))
+        self.post(count, count * words_each)
+
+
+class BatchProtocol(Protocol):
+    """A protocol that can also run on the batch tier.
+
+    Subclasses implement the scalar hooks (the semantic reference) *and*
+    the batch hooks below; the engine picks the batch tier automatically
+    under ``engine="auto"``.  The contract, pinned by the test-suite, is
+    that for any topology and seed the two tiers produce identical
+    :class:`RunResult`\\ s -- same rounds, same message and word totals,
+    same outputs in the same insertion order.
+    """
+
+    #: Advertises batch capability to ``SynchronousNetwork.run``.
+    supports_batch = True
+
+    def on_start_batch(self, net: BatchContext) -> None:
+        """Round 0 for all nodes at once: initialize ``net.state``, halt
+        any immediately-finished nodes, post initial traffic."""
+        raise NotImplementedError
+
+    def on_round_batch(self, net: BatchContext) -> None:
+        """One synchronous round for every active node at once."""
+        raise NotImplementedError
+
+    def outputs_batch(self, net: BatchContext) -> dict[int, Any]:
+        """Final ``node -> output`` dict, keyed by *original* node ids in
+        ascending (``net.labels``) order."""
+        return {int(u): None for u in net.labels}
+
+
 @dataclass
 class RunResult:
     """Outcome of one protocol execution.
@@ -97,7 +272,8 @@ class RunResult:
     words:
         Total payload volume in words (diagnostic).
     outputs:
-        ``node -> protocol output``.
+        ``node -> protocol output``; insertion order is ascending node id
+        on both execution tiers (deterministic for downstream iteration).
     """
 
     rounds: int
@@ -114,7 +290,8 @@ class SynchronousNetwork:
     topology:
         Either a :class:`Graph` or an adjacency mapping
         ``node -> iterable of neighbors``.  Nodes without entries are not
-        part of the computation.
+        part of the computation.  Self-loops are rejected for both
+        topology kinds.
     max_rounds:
         Hard budget; exceeding it raises :class:`SimulationLimitError`.
     """
@@ -129,9 +306,13 @@ class SynchronousNetwork:
             raise ProtocolError(f"max_rounds must be >= 1, got {max_rounds}")
         self._max_rounds = max_rounds
         self._adj: dict[int, tuple[int, ...]] = {}
+        self._graph = topology if isinstance(topology, Graph) else None
         if isinstance(topology, Graph):
             for u in topology.vertices():
-                self._adj[u] = tuple(sorted(topology.neighbors(u)))
+                nbrs = tuple(sorted(topology.neighbors(u)))
+                if u in nbrs:
+                    raise ProtocolError(f"self-loop at {u} in topology")
+                self._adj[u] = nbrs
         else:
             sym: dict[int, set[int]] = {u: set() for u in topology}
             for u, nbrs in topology.items():
@@ -141,20 +322,95 @@ class SynchronousNetwork:
                     sym.setdefault(u, set()).add(v)
                     sym.setdefault(v, set()).add(u)
             self._adj = {u: tuple(sorted(ns)) for u, ns in sym.items()}
+        self._batch_ctx_arrays: tuple[np.ndarray, ...] | None = None
+        # Snapshot the CSR arrays now: both tiers must see the topology
+        # as of construction even if a Graph is mutated afterwards.
+        self._topology_arrays()
 
     @property
     def nodes(self) -> list[int]:
         """Participating node ids, sorted."""
         return sorted(self._adj)
 
-    def run(self, protocol: Protocol) -> RunResult:
+    # ------------------------------------------------------------------
+    # Batch topology arrays
+    # ------------------------------------------------------------------
+    def _topology_arrays(self) -> tuple[np.ndarray, ...]:
+        """CSR snapshot of the topology over compact indices (cached).
+
+        Graph topologies reuse the graph's own cached
+        :meth:`Graph.csr` structure; mapping topologies build the same
+        arrays from the normalized adjacency.
+        """
+        if self._batch_ctx_arrays is None:
+            if self._graph is not None:
+                mat = self._graph.csr()
+                labels = np.arange(self._graph.num_vertices, dtype=np.int64)
+                indptr = mat.indptr.astype(np.int64)
+                indices = mat.indices.astype(np.int64)
+            else:
+                labels = np.asarray(self.nodes, dtype=np.int64)
+                index_of = {int(u): i for i, u in enumerate(labels)}
+                indptr = np.zeros(labels.size + 1, dtype=np.int64)
+                for i, u in enumerate(labels):
+                    indptr[i + 1] = indptr[i] + len(self._adj[int(u)])
+                indices = np.empty(int(indptr[-1]), dtype=np.int64)
+                for i, u in enumerate(labels):
+                    row = [index_of[v] for v in self._adj[int(u)]]
+                    indices[indptr[i] : indptr[i + 1]] = row
+            n = labels.size
+            # Reverse-slot permutation: slot (u -> v) maps to (v -> u).
+            # Keys (src, dst) are already lexsorted by construction, so
+            # the reverse slot is a binary search for (dst, src).
+            sources = np.repeat(
+                np.arange(n, dtype=np.int64), np.diff(indptr)
+            )
+            key_fwd = sources * n + indices
+            key_rev = indices * n + sources
+            rev = np.searchsorted(key_fwd, key_rev)
+            self._batch_ctx_arrays = (labels, indptr, indices, rev)
+        return self._batch_ctx_arrays
+
+    def _batch_context(self) -> BatchContext:
+        labels, indptr, indices, rev = self._topology_arrays()
+        return BatchContext(labels, indptr, indices, rev)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, protocol: Protocol, *, engine: str = "auto") -> RunResult:
         """Run ``protocol`` to completion (all nodes halted).
 
         Rounds in which no node is active are not possible: the engine
         stops exactly when every node has halted.  A round is counted
         whenever at least one node computes (even silently), matching the
         synchronous model where the global clock ticks for everyone.
+
+        Parameters
+        ----------
+        protocol:
+            The protocol to execute.
+        engine:
+            ``"auto"`` (batch tier when the protocol supports it),
+            ``"scalar"`` (force the per-node reference tier) or
+            ``"batch"`` (require the batch tier).
         """
+        if engine not in ("auto", "scalar", "batch"):
+            raise ProtocolError(
+                f"engine must be auto|scalar|batch, got {engine!r}"
+            )
+        batch_capable = getattr(protocol, "supports_batch", False)
+        if engine == "batch" and not batch_capable:
+            raise ProtocolError(
+                f"{protocol.name}: protocol has no batch implementation"
+            )
+        if batch_capable and engine != "scalar":
+            return self._run_batch(protocol)
+        return self._run_scalar(protocol)
+
+    # ------------------------------------------------------------------
+    def _run_scalar(self, protocol: Protocol) -> RunResult:
+        """The per-node reference tier."""
         contexts = {
             u: NodeContext(node=u, neighbors=self._adj[u]) for u in self._adj
         }
@@ -208,4 +464,31 @@ class SynchronousNetwork:
             messages=messages,
             words=words,
             outputs={u: protocol.output(contexts[u]) for u in self.nodes},
+        )
+
+    # ------------------------------------------------------------------
+    def _run_batch(self, protocol: BatchProtocol) -> RunResult:
+        """The all-nodes-at-once tier (identical accounting contract)."""
+        net = self._batch_context()
+        rounds = 0
+        net._sent_in_round = False
+        protocol.on_start_batch(net)
+        if net._sent_in_round:
+            rounds += 1
+
+        while bool(net.active.any()):
+            if rounds >= self._max_rounds:
+                raise SimulationLimitError(
+                    f"{protocol.name}: exceeded {self._max_rounds} rounds "
+                    f"({int(np.count_nonzero(net.active))} nodes still active)"
+                )
+            net._sent_in_round = False
+            protocol.on_round_batch(net)
+            rounds += 1
+
+        return RunResult(
+            rounds=rounds,
+            messages=net._messages,
+            words=net._words,
+            outputs=protocol.outputs_batch(net),
         )

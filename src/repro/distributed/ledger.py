@@ -16,6 +16,13 @@ Conventions:
   graph and ``hop_factor`` is the number of network rounds needed to
   emulate one derived-graph round (derived-graph neighbors are a constant
   number of network hops apart -- Lemmas 15 and 20).
+
+Batch rounds are charged identically: the engine's batch tier steps all
+nodes of a protocol round at once, but a batch round *is* one synchronous
+round of the model, so ``RunResult.rounds`` -- and therefore every ledger
+charge derived from it -- is the same number on either tier (pinned by
+the scalar-vs-batch equivalence tests).  Vectorization changes wall-clock
+time, never the round bill.
 """
 
 from __future__ import annotations

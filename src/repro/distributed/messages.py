@@ -6,6 +6,12 @@ node may send a different message to each neighbor.  Messages carry
 bound (the paper's own analysis is purely round-based) but it *measures*
 payload volume in "words" -- a word being one integer/float/atom -- so
 experiments can report communication volume alongside rounds.
+
+:func:`payload_words` is the single source of truth for both execution
+tiers: the scalar engine calls it per dispatched payload, while batch
+protocols evaluate it once per message *kind* (or per interned fact) and
+multiply by ufunc-reduced message counts, so the two tiers bill
+identically by construction.
 """
 
 from __future__ import annotations

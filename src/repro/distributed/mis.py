@@ -69,6 +69,7 @@ def run_luby_mis(
     *,
     seed: int = 0,
     max_rounds: int = 10_000,
+    engine: str = "auto",
 ) -> MISRun:
     """Compute an MIS of ``adjacency`` with the Luby protocol.
 
@@ -76,12 +77,17 @@ def run_luby_mis(
     tuples); the runner relabels them for the engine and restores labels
     in the output.  The result is validated before being returned --
     a protocol bug can never silently corrupt a spanner build.
+
+    ``engine`` selects the execution tier (``"auto"`` runs the batch
+    tier, stepping all nodes per round over CSR mailbox arrays;
+    ``"scalar"`` forces the per-node reference tier).  Both produce the
+    identical MIS, round count and message count for a given seed.
     """
     if not adjacency:
         return MISRun(frozenset(), engine_rounds=0, messages=0)
     relabeled, back = _normalize(adjacency)
     net = SynchronousNetwork(relabeled, max_rounds=max_rounds)
-    result = net.run(LubyMIS(seed=seed))
+    result = net.run(LubyMIS(seed=seed), engine=engine)
     chosen = frozenset(back[i] for i, flag in result.outputs.items() if flag)
     verify_mis(adjacency, set(chosen))
     return MISRun(

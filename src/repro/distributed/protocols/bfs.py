@@ -6,19 +6,31 @@ first announcer (lowest id on ties).  Terminates in ``eccentricity(root)
 + O(1)`` rounds.  The tree feeds :class:`ConvergecastSum` and gives the
 engine a protocol whose round count is topology-dependent (unlike the
 fixed-k gathers), which the test-suite uses to validate round accounting.
+
+Batch execution: the wave is a frontier mask; one round adopts every
+unvisited node with a frontier neighbor at once (parent = minimum-id
+offering slot via a segment reduction), and the patience counter is a
+single global integer because an unadopted node has, by construction,
+never seen an offer.
 """
 
 from __future__ import annotations
 
 from typing import Any
 
+import numpy as np
+
+from ...arrayops import segment_any, segment_min
 from ...exceptions import ProtocolError
-from ..engine import NodeContext, Protocol
+from ..engine import BatchContext, BatchProtocol, NodeContext
+from ..messages import payload_words
 
 __all__ = ["BFSTree"]
 
+_LEVEL_WORDS = payload_words(("level", 0))
 
-class BFSTree(Protocol):
+
+class BFSTree(BatchProtocol):
     """Build a BFS tree rooted at ``root``.
 
     Output per node: ``(level, parent)`` -- ``(0, root)`` at the root,
@@ -44,6 +56,9 @@ class BFSTree(Protocol):
         self._root = root
         self._patience = patience
 
+    # ------------------------------------------------------------------
+    # Scalar tier (semantic reference)
+    # ------------------------------------------------------------------
     def on_start(self, ctx: NodeContext) -> dict[int, Any] | None:
         ctx.state["level"] = None
         ctx.state["parent"] = None
@@ -80,3 +95,69 @@ class BFSTree(Protocol):
 
     def output(self, ctx: NodeContext) -> tuple[int | None, int | None]:
         return (ctx.state["level"], ctx.state["parent"])
+
+    # ------------------------------------------------------------------
+    # Batch tier
+    # ------------------------------------------------------------------
+    def on_start_batch(self, net: BatchContext) -> None:
+        n = net.num_nodes
+        level = np.full(n, -1, dtype=np.int64)
+        parent = np.full(n, -1, dtype=np.int64)
+        frontier = np.zeros(n, dtype=bool)
+        root_pos = np.searchsorted(net.labels, self._root)
+        has_root = (
+            root_pos < n and int(net.labels[root_pos]) == self._root
+        )
+        if has_root:
+            level[root_pos] = 0
+            parent[root_pos] = root_pos
+            frontier[root_pos] = True
+            net.halt(np.asarray([root_pos]))
+            # The root announces to every neighbor.
+            net.post_slots(net.sources == root_pos, _LEVEL_WORDS)
+        net.state.update(level=level, parent=parent, frontier=frontier, idle=0)
+
+    def on_round_batch(self, net: BatchContext) -> None:
+        st = net.state
+        level: np.ndarray = st["level"]
+        parent: np.ndarray = st["parent"]
+        frontier: np.ndarray = st["frontier"]
+
+        # An offer arrives on slot e iff the neighbor announced last
+        # round and this slot's owner is not that neighbor's parent.
+        offer = frontier[net.indices] & (
+            parent[net.indices] != net.sources
+        )
+        adopt = net.active & segment_any(offer, net.indptr)
+        if adopt.any():
+            offered_ids = np.where(offer, net.indices, net.num_nodes)
+            best = segment_min(
+                offered_ids, net.indptr, empty=net.num_nodes
+            )
+            wave_level = int(level[frontier][0]) + 1
+            level[adopt] = wave_level
+            parent[adopt] = best[adopt]
+            # Adopters announce to all neighbors but their parent.
+            net.post_slots(
+                adopt[net.sources]
+                & (net.indices != parent[net.sources]),
+                _LEVEL_WORDS,
+            )
+            net.halt(adopt)
+        st["frontier"] = adopt
+        st["idle"] += 1
+        if st["idle"] >= self._patience:
+            net.halt(np.ones(net.num_nodes, dtype=bool))
+
+    def outputs_batch(
+        self, net: BatchContext
+    ) -> dict[int, tuple[int | None, int | None]]:
+        level = net.state["level"]
+        parent = net.state["parent"]
+        out: dict[int, tuple[int | None, int | None]] = {}
+        for i, u in enumerate(net.labels.tolist()):
+            if level[i] < 0:
+                out[int(u)] = (None, None)
+            else:
+                out[int(u)] = (int(level[i]), int(net.labels[parent[i]]))
+        return out

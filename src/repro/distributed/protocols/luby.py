@@ -17,14 +17,38 @@ Each Luby iteration costs two message rounds:
 
 The protocol is exact: on termination the chosen set is independent and
 maximal (asserted by the test-suite on random graphs).
+
+Randomness contract: per-(node, iteration) priorities come from the
+counter-based SplitMix64/Murmur3 hash of :mod:`repro.arrayops` -- the
+same family the gray-zone policies use -- so the scalar tier (one
+``random`` draw per node per iteration) and the batch tier (one hash of
+the whole id array per iteration) produce bit-identical priorities, and
+the equivalence tests can pin scalar == batch ``RunResult``\\ s exactly.
+
+Batch execution: the batch hooks mirror the scalar state machine over
+slot arrays -- ``slot_active[e]`` is "the neighbor on directed slot ``e``
+is still in my active set", bids travel as a per-slot priority array
+through :meth:`BatchContext.exchange`, winners are per-row lexicographic
+minima via segment reductions, and fate notifications reduce to clearing
+slot columns.  Message/word accounting matches the scalar dispatch
+message for message.
 """
 
 from __future__ import annotations
 
-import random
 from typing import Any
 
-from ..engine import NodeContext, Protocol
+import numpy as np
+
+from ...arrayops import (
+    counter_uniform,
+    counter_uniforms,
+    seed_state,
+    segment_min,
+    segment_sum,
+)
+from ..engine import BatchContext, BatchProtocol, NodeContext
+from ..messages import payload_words
 
 __all__ = ["LubyMIS"]
 
@@ -32,8 +56,22 @@ _UNDECIDED = "undecided"
 _IN_MIS = "in_mis"
 _OUT = "out"
 
+# Status codes of the batch tier (scalar keeps the string states).
+_S_UNDECIDED = 0
+_S_IN_MIS = 1
+_S_OUT = 2
 
-class LubyMIS(Protocol):
+# Word costs per message kind, derived from the payloads the scalar tier
+# actually sends so the accounting can never drift between tiers.
+_BID_WORDS = payload_words(("bid", 0.5))
+_FATE_WORDS = {
+    _S_IN_MIS: payload_words(("fate", _IN_MIS)),
+    _S_OUT: payload_words(("fate", _OUT)),
+    _S_UNDECIDED: payload_words(("fate", _UNDECIDED)),
+}
+
+
+class LubyMIS(BatchProtocol):
     """Luby's MIS over the run topology.
 
     Parameters
@@ -52,11 +90,13 @@ class LubyMIS(Protocol):
 
     def __init__(self, seed: int = 0) -> None:
         self._seed = seed
+        self._state = seed_state(seed)
 
     # ------------------------------------------------------------------
+    # Scalar tier (semantic reference)
+    # ------------------------------------------------------------------
     def _draw(self, node: int, iteration: int) -> float:
-        rng = random.Random(f"{self._seed}:{node}:{iteration}")
-        return rng.random()
+        return counter_uniform(self._state, node, iteration)
 
     def on_start(self, ctx: NodeContext) -> dict[int, Any] | None:
         ctx.state["status"] = _UNDECIDED
@@ -138,3 +178,130 @@ class LubyMIS(Protocol):
     def output(self, ctx: NodeContext) -> bool:
         """Whether this node is in the MIS."""
         return ctx.state["status"] == _IN_MIS
+
+    # ------------------------------------------------------------------
+    # Batch tier
+    # ------------------------------------------------------------------
+    def on_start_batch(self, net: BatchContext) -> None:
+        n = net.num_nodes
+        status = np.full(n, _S_UNDECIDED, dtype=np.int8)
+        isolated = net.degrees == 0
+        status[isolated] = _S_IN_MIS
+        net.halt(isolated)
+        # Priorities are drawn with the *original* node labels so scalar
+        # and batch runs agree on any (possibly relabeled) topology.
+        priority = counter_uniforms(
+            self._state, net.labels, np.zeros(n, dtype=np.int64)
+        )
+        net.state.update(
+            status=status,
+            priority=priority,
+            iteration=0,
+            resolve_next=True,
+            # slot_active[e]: neighbor indices[e] is in sources[e]'s
+            # active set (symmetric between live node pairs).
+            slot_active=np.ones(net.num_slots, dtype=bool),
+        )
+        # Every non-isolated node bids to all neighbors.
+        net.post_slots(net.active[net.sources], _BID_WORDS)
+
+    def on_round_batch(self, net: BatchContext) -> None:
+        if net.state["resolve_next"]:
+            self._resolve_batch(net)
+        else:
+            self._propose_batch(net)
+        net.state["resolve_next"] = not net.state["resolve_next"]
+
+    def _resolve_batch(self, net: BatchContext) -> None:
+        """Compare bids; winners join the MIS and everyone reports fate."""
+        st = net.state
+        status: np.ndarray = st["status"]
+        slot_active: np.ndarray = st["slot_active"]
+        priority: np.ndarray = st["priority"]
+
+        # Mailbox exchange: each active node bid to its active set last
+        # round, so the incoming bid on slot e exists iff the reverse
+        # slot was live (slot_active is symmetric between live nodes).
+        bid_out = net.active[net.sources] & slot_active
+        bid_val = priority[net.sources]
+        bid_in = net.exchange(bid_out)
+        val_in = np.where(bid_in, net.exchange(bid_val), np.inf)
+
+        # Strict lexicographic minimum of (priority, id) per row; ids are
+        # compact indices, which order exactly like the original labels.
+        best_val = segment_min(val_in, net.indptr, empty=np.inf)
+        tie = bid_in & (val_in == best_val[net.sources])
+        nbr_ids = np.where(tie, net.indices, net.num_nodes)
+        best_id = segment_min(nbr_ids, net.indptr, empty=net.num_nodes)
+        mine = priority
+        wins = net.active & (
+            (mine < best_val)
+            | ((mine == best_val) & (np.arange(net.num_nodes) < best_id))
+        )
+        status[wins] = _S_IN_MIS
+
+        # Fate notifications to the (already OUT-pruned) active sets.
+        active_deg = segment_sum(slot_active.astype(np.int64), net.indptr)
+        n_win = int(active_deg[wins].sum())
+        n_und = int(active_deg[net.active & ~wins].sum())
+        net.post(
+            n_win + n_und,
+            n_win * _FATE_WORDS[_S_IN_MIS]
+            + n_und * _FATE_WORDS[_S_UNDECIDED],
+        )
+
+    def _propose_batch(self, net: BatchContext) -> None:
+        """Digest fate notifications; survivors start the next iteration."""
+        st = net.state
+        status: np.ndarray = st["status"]
+        slot_active: np.ndarray = st["slot_active"]
+
+        winners = net.active & (status == _S_IN_MIS)
+        # A winner's announcement reaches exactly its active set.
+        saw_winner = winners[net.indices] & slot_active
+        mis_nbr = (
+            segment_sum(saw_winner.astype(np.int64), net.indptr) > 0
+        )
+
+        # Everyone discards announced winners (both slot directions).
+        slot_active &= ~(winners[net.indices] | winners[net.sources])
+        active_deg = segment_sum(slot_active.astype(np.int64), net.indptr)
+
+        out_nodes = net.active & ~winners & mis_nbr
+        survivors = net.active & ~winners & ~mis_nbr
+        joiners = survivors & (active_deg == 0)
+        bidders = survivors & (active_deg > 0)
+
+        status[out_nodes] = _S_OUT
+        status[joiners] = _S_IN_MIS
+
+        st["iteration"] += 1
+        st["priority"] = counter_uniforms(
+            self._state,
+            net.labels,
+            np.full(net.num_nodes, st["iteration"], dtype=np.int64),
+        )
+
+        # Last breaths from OUT nodes, bids from survivors -- both sent
+        # to the winner-pruned active sets, which may still include
+        # neighbors halting this very round (exactly as in the scalar
+        # tier, where those sends land in halted inboxes unread).
+        n_out = int(active_deg[out_nodes].sum())
+        n_bid = int(active_deg[bidders].sum())
+        net.post(
+            n_out + n_bid,
+            n_out * _FATE_WORDS[_S_OUT] + n_bid * _BID_WORDS,
+        )
+
+        halted_now = winners | out_nodes | joiners
+        net.halt(halted_now)
+        slot_active &= ~(
+            halted_now[net.indices] | halted_now[net.sources]
+        )
+
+    def outputs_batch(self, net: BatchContext) -> dict[int, bool]:
+        status = net.state["status"]
+        return {
+            int(u): bool(status[i] == _S_IN_MIS)
+            for i, u in enumerate(net.labels)
+        }

@@ -20,12 +20,14 @@ from . import (  # noqa: F401 -- imported for registration side effects
     f_lemmas,
     x1_doubling,
 )
+from .bench_store import BenchStore
 from .runner import EXPERIMENT_REGISTRY, ExperimentResult, format_table
 from .workloads import WORKLOAD_NAMES, Workload, make_workload
 
 __all__ = [
     "EXPERIMENT_REGISTRY",
     "ExperimentResult",
+    "BenchStore",
     "format_table",
     "Workload",
     "make_workload",

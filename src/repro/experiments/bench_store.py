@@ -1,0 +1,97 @@
+"""Run-to-run persistence for benchmark measurements.
+
+Experiment artifacts (``save_results``) snapshot one run; benchmark
+*trajectories* need history -- the whole point of a recorded speedup is
+comparing it against last week's.  :class:`BenchStore` keeps one JSON
+file per bench name under a results directory (default
+``results/bench/``), each holding an append-only ``runs`` list, plus an
+``index.json`` summarizing the latest run per bench so dashboards can
+scan one small file.
+
+The store is deliberately tiny and dependency-free: benches call
+:meth:`BenchStore.append` with whatever metric dict they measured
+(speedups, wall seconds, round counts); nothing is interpreted here.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any
+
+__all__ = ["BenchStore"]
+
+_SAFE = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789-_.")
+
+
+def _slug(name: str) -> str:
+    """File-safe form of a bench name."""
+    return "".join(c if c in _SAFE else "-" for c in name) or "bench"
+
+
+class BenchStore:
+    """Append-only JSON store for benchmark trajectories.
+
+    Parameters
+    ----------
+    directory:
+        Where the per-bench JSON files and ``index.json`` live; created
+        on first append.
+    """
+
+    def __init__(self, directory: str | Path = "results/bench") -> None:
+        self.directory = Path(directory)
+
+    # ------------------------------------------------------------------
+    def _path(self, name: str) -> Path:
+        return self.directory / f"{_slug(name)}.json"
+
+    def history(self, name: str) -> list[dict[str, Any]]:
+        """All recorded runs for ``name`` (oldest first; [] if none)."""
+        path = self._path(name)
+        if not path.exists():
+            return []
+        return json.loads(path.read_text()).get("runs", [])
+
+    def append(self, name: str, record: dict[str, Any]) -> Path:
+        """Append ``record`` to ``name``'s trajectory and refresh the
+        index.  A UTC timestamp is stamped automatically."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        runs = self.history(name)
+        entry = dict(record)
+        entry.setdefault(
+            "recorded_at",
+            time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        )
+        runs.append(entry)
+        path = self._path(name)
+        path.write_text(
+            json.dumps({"name": name, "runs": runs}, indent=2, default=str)
+            + "\n"
+        )
+        self._refresh_index()
+        return path
+
+    # ------------------------------------------------------------------
+    def _refresh_index(self) -> None:
+        index = []
+        for path in sorted(self.directory.glob("*.json")):
+            if path.name == "index.json":
+                continue
+            try:
+                data = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError):
+                continue
+            runs = data.get("runs", [])
+            index.append(
+                {
+                    "name": data.get("name", path.stem),
+                    "num_runs": len(runs),
+                    "latest": runs[-1] if runs else None,
+                    "artifact": path.name,
+                }
+            )
+        (self.directory / "index.json").write_text(
+            json.dumps(index, indent=2, default=str) + "\n"
+        )

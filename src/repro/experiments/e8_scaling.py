@@ -7,6 +7,13 @@ the constant-hop cluster graph.  We count the dominant cost driver --
 vertices settled by Dijkstra (for SEQ-GREEDY) versus queries issued (for
 the relaxed algorithm) -- plus wall time.  Shape: the relaxed algorithm
 issues far fewer queries per edge and its advantage widens with n.
+
+The full sweep now extends the relaxed arm to ``n = 10^4``.  The naive
+baseline is quadratic-ish and is only *measured* up to ``_NAIVE_CAP``
+(beyond that its columns are left empty rather than extrapolated); the
+scaling shape check for the large-n rows is that relaxed queries per
+input edge stay in a flat band -- the Das--Narasimhan effect does not
+deteriorate at scale.
 """
 
 from __future__ import annotations
@@ -20,11 +27,14 @@ from .workloads import make_workload
 
 __all__ = ["run"]
 
+#: Largest n the quadratic SEQ-GREEDY baseline is actually executed at.
+_NAIVE_CAP = 512
+
 
 @register("E8")
 def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
     """Execute E8."""
-    sizes = (64, 128) if quick else (64, 128, 256, 512)
+    sizes = (64, 128) if quick else (64, 128, 256, 512, 1000, 5000, 10000)
     eps = 0.5
     result = ExperimentResult(
         experiment="E8",
@@ -32,35 +42,46 @@ def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
             "Section 2: relaxed greedy answers O(#clusters) queries per "
             "phase instead of one per edge (Das-Narasimhan effect)"
         ),
+        notes=(
+            f"naive baseline measured up to n={_NAIVE_CAP}; larger rows "
+            "track the relaxed arm's queries-per-edge band"
+        ),
     )
     ratios = []
+    queries_per_edge = []
     for n in sizes:
         workload = make_workload("uniform", n, seed=seed + n)
-        stats = GreedyStats()
-        t0 = time.perf_counter()
-        greedy = seq_greedy(workload.graph, 1.0 + eps, stats=stats)
-        naive_time = time.perf_counter() - t0
+        row: dict = {"n": n, "edges": workload.graph.num_edges}
+        if n <= _NAIVE_CAP:
+            stats = GreedyStats()
+            t0 = time.perf_counter()
+            greedy = seq_greedy(workload.graph, 1.0 + eps, stats=stats)
+            row["naive_queries"] = stats.num_queries
+            row["naive_settled"] = stats.num_settled
+            row["naive_time_s"] = time.perf_counter() - t0
+            row["greedy_edges"] = greedy.num_edges
         t0 = time.perf_counter()
         build = build_spanner(workload.graph, workload.points.distance, eps)
         relaxed_time = time.perf_counter() - t0
         relaxed_queries = sum(p.num_queries for p in build.phases)
-        ratio = relaxed_queries / max(1, stats.num_queries)
-        ratios.append(ratio)
-        result.rows.append(
-            {
-                "n": n,
-                "edges": workload.graph.num_edges,
-                "naive_queries": stats.num_queries,
-                "naive_settled": stats.num_settled,
-                "relaxed_queries": relaxed_queries,
-                "query_ratio": ratio,
-                "naive_time_s": naive_time,
-                "relaxed_time_s": relaxed_time,
-                "greedy_edges": greedy.num_edges,
-                "relaxed_edges": build.spanner.num_edges,
-            }
+        per_edge = relaxed_queries / max(1, workload.graph.num_edges)
+        queries_per_edge.append(per_edge)
+        row.update(
+            relaxed_queries=relaxed_queries,
+            relaxed_queries_per_edge=per_edge,
+            relaxed_time_s=relaxed_time,
+            relaxed_edges=build.spanner.num_edges,
         )
-    # Shape: relaxed issues fewer queries everywhere, and the saving does
-    # not deteriorate as n grows.
+        if "naive_queries" in row:
+            ratio = relaxed_queries / max(1, row["naive_queries"])
+            row["query_ratio"] = ratio
+            ratios.append(ratio)
+        result.rows.append(row)
+    # Shape: relaxed issues fewer queries everywhere the baseline runs,
+    # the saving does not deteriorate as n grows, and the queries-per-
+    # edge band stays flat out to the largest (baseline-free) sizes.
     result.passed = all(r < 1.0 for r in ratios) and ratios[-1] <= ratios[0] * 1.5
+    result.passed &= max(queries_per_edge) <= max(
+        1.0, 2.0 * queries_per_edge[0] + 0.1
+    )
     return result

@@ -40,6 +40,7 @@ from typing import Protocol, runtime_checkable
 
 import numpy as np
 
+from ..arrayops import counter_uniforms, seed_state
 from ..exceptions import GraphError
 from ..geometry.grid import GridIndex
 from ..geometry.metrics import EdgeMetric, EuclideanMetric
@@ -60,60 +61,27 @@ __all__ = [
 # ----------------------------------------------------------------------
 # Counter-based pair hashing (stochastic policies)
 # ----------------------------------------------------------------------
-_U64_MASK = 0xFFFFFFFFFFFFFFFF
-_GOLDEN_INT = 0x9E3779B97F4A7C15
-_GOLDEN = np.uint64(_GOLDEN_INT)
-_MIX_SHIFT = np.uint64(33)
-_MIX_MUL1 = np.uint64(0xFF51AFD7ED558CCD)
-_MIX_MUL2 = np.uint64(0xC4CEB9FE1A85EC53)
-_INV_2_53 = float(2.0**-53)
-
-
-def _mix64(x: np.ndarray) -> np.ndarray:
-    """Murmur3 fmix64 finalizer, elementwise on uint64 arrays (in place)."""
-    x ^= x >> _MIX_SHIFT
-    x *= _MIX_MUL1
-    x ^= x >> _MIX_SHIFT
-    x *= _MIX_MUL2
-    x ^= x >> _MIX_SHIFT
-    return x
-
-
-def _seed_state(seed: int) -> np.uint64:
-    """Premixed uint64 hash state for a policy seed.
-
-    Computed in Python ints (mod-2^64 wraparound is intended there and
-    silent, unlike numpy scalar arithmetic, which warns on overflow for
-    negative or huge seeds) and equal to ``_mix64`` of the masked seed
-    plus the golden-ratio increment.  Policies cache this at
-    construction so batch calls skip one full array mixing round.
-    """
-    x = (seed + _GOLDEN_INT) & _U64_MASK
-    x ^= x >> 33
-    x = (x * 0xFF51AFD7ED558CCD) & _U64_MASK
-    x ^= x >> 33
-    x = (x * 0xC4CEB9FE1A85EC53) & _U64_MASK
-    x ^= x >> 33
-    return np.uint64(x)
+# The hash family itself lives in repro.arrayops (it is shared with the
+# batch round engine's protocol randomness); this module canonicalizes
+# pair orientation so gray-zone decisions are symmetric in (u, v).
+_seed_state = seed_state
 
 
 def _pair_uniforms(
     state: np.uint64, u: np.ndarray, v: np.ndarray
 ) -> np.ndarray:
     """Uniform ``[0, 1)`` deviates from a counter-based hash of the
-    premixed seed ``state`` (see :func:`_seed_state`) and the pair ids.
+    premixed seed ``state`` (see :func:`repro.arrayops.seed_state`) and
+    the pair ids.
 
     Stateless and vectorized: the deviate for a pair depends only on the
     seed and the two endpoint ids, so batch evaluation, scalar evaluation
     and any evaluation order produce identical values.  Pair orientation
     is canonicalized internally (``min, max``).
     """
-    lo = np.minimum(u, v).astype(np.uint64)
-    hi = np.maximum(u, v).astype(np.uint64)
-    h = _mix64(state ^ (lo + _GOLDEN))
-    h = _mix64(h ^ (hi + _GOLDEN))
-    # Top 53 bits give a dyadic uniform in [0, 1), exactly representable.
-    return (h >> np.uint64(11)).astype(np.float64) * _INV_2_53
+    lo = np.minimum(u, v)
+    hi = np.maximum(u, v)
+    return counter_uniforms(state, lo, hi)
 
 
 def _pair_uniform_scalar(state: np.uint64, u: int, v: int) -> float:

@@ -38,6 +38,7 @@ __all__ = [
     "shortest_path_tree",
     "multi_source_distances",
     "multi_source_trees",
+    "pair_distances",
     "NO_PREDECESSOR",
 ]
 
@@ -115,6 +116,32 @@ def multi_source_distances(
         mat, directed=False, indices=idx, limit=limit, unweighted=unweighted
     )
     return rows.reshape(idx.size, n)
+
+
+def pair_distances(
+    graph: Graph, us: np.ndarray, vs: np.ndarray
+) -> np.ndarray:
+    """Shortest-path distances for aligned endpoint arrays.
+
+    ``out[i] = sp(us[i], vs[i])`` (``inf`` when unreachable), computed as
+    blocked multi-source batches over the CSR snapshot -- the bulk
+    replacement for per-pair ``dijkstra(graph, u, targets={v})`` loops
+    in samplers and delivery reports.
+    """
+    us = np.asarray(us, dtype=np.int64)
+    vs = np.asarray(vs, dtype=np.int64)
+    if us.shape != vs.shape or us.ndim != 1:
+        raise GraphError("endpoint arrays must be aligned one-dimensional")
+    _check_sources(graph, vs)
+    out = np.empty(us.shape[0], dtype=np.float64)
+    src = np.unique(us)
+    block = source_block_size(graph)
+    for lo in range(0, src.size, block):
+        chunk = src[lo : lo + block]
+        rows = multi_source_distances(graph, chunk)
+        sel = (us >= chunk[0]) & (us <= chunk[-1])
+        out[sel] = rows[np.searchsorted(chunk, us[sel]), vs[sel]]
+    return out
 
 
 def multi_source_trees(

@@ -1,0 +1,40 @@
+"""Tests for the run-to-run benchmark trajectory store."""
+
+import json
+
+from repro.experiments.bench_store import BenchStore
+
+
+class TestBenchStore:
+    def test_append_creates_trajectory(self, tmp_path):
+        store = BenchStore(tmp_path / "bench")
+        store.append("luby", {"n": 2000, "speedup": 12.5})
+        store.append("luby", {"n": 2000, "speedup": 13.0})
+        runs = store.history("luby")
+        assert len(runs) == 2
+        assert runs[0]["speedup"] == 12.5
+        assert runs[1]["speedup"] == 13.0
+        assert all("recorded_at" in r for r in runs)
+
+    def test_index_tracks_latest_run(self, tmp_path):
+        store = BenchStore(tmp_path / "bench")
+        store.append("a", {"x": 1})
+        store.append("b", {"x": 2})
+        store.append("a", {"x": 3})
+        index = json.loads((tmp_path / "bench" / "index.json").read_text())
+        by_name = {e["name"]: e for e in index}
+        assert by_name["a"]["num_runs"] == 2
+        assert by_name["a"]["latest"]["x"] == 3
+        assert by_name["b"]["num_runs"] == 1
+
+    def test_history_of_unknown_bench_is_empty(self, tmp_path):
+        assert BenchStore(tmp_path / "bench").history("nope") == []
+
+    def test_names_are_slugged_to_safe_filenames(self, tmp_path):
+        store = BenchStore(tmp_path / "bench")
+        path = store.append("weird name/with:chars", {"v": 1})
+        assert path.name == "weird-name-with-chars.json"
+        store.append("weird name/with:chars", {"v": 2})
+        assert len(store.history("weird name/with:chars")) == 2
+        data = json.loads(path.read_text())
+        assert len(data["runs"]) == 2

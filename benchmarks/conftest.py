@@ -14,6 +14,15 @@ JSON trajectory store under ``results/bench/`` (one file per bench plus
 ``index.json``), so BENCH numbers accumulate run-to-run instead of
 evaporating with the terminal scrollback.  Point ``REPRO_BENCH_DIR`` at
 another directory to redirect.
+
+Regression gate: with ``REPRO_BENCH_GATE=1`` (the CI bench jobs set it)
+every measurement is also compared against the stored trajectory's
+median *before* being appended; a >2x slowdown fails the bench.  A
+fresh checkout has no trajectory, so the gate passes trivially there
+and begins to bite as history accumulates (the CI bench jobs restore
+``results/bench`` via ``actions/cache`` -- key prefix
+``bench-trajectories-*`` -- so each run gates against the previous
+runs' measurements).
 """
 
 from __future__ import annotations
@@ -21,6 +30,14 @@ from __future__ import annotations
 import os
 
 import pytest
+
+#: Slowdown factor the gate tolerates before failing a bench.
+GATE_FACTOR = 2.0
+
+
+def gate_enabled() -> bool:
+    """Whether the trajectory regression gate is armed."""
+    return os.environ.get("REPRO_BENCH_GATE", "") not in ("", "0")
 
 
 @pytest.fixture()
@@ -32,9 +49,36 @@ def bench_store():
 
 
 @pytest.fixture()
-def run_experiment(benchmark, bench_store):
+def bench_gate(bench_store):
+    """Gate-then-append: compare a fresh wall clock against the stored
+    trajectory median (fail on >2x slowdown when armed), then record it."""
+
+    def _check(name: str, record: dict, *, metric: str = "wall_s"):
+        value = record[metric]
+        if gate_enabled():
+            bench_store.assert_within_trajectory(
+                name, value, metric=metric, factor=GATE_FACTOR
+            )
+        else:
+            ok, baseline = bench_store.check_regression(
+                name, value, metric=metric, factor=GATE_FACTOR
+            )
+            if not ok:
+                print(
+                    f"\n[bench] WARNING: {name} {metric}={value:.6g} is "
+                    f">{GATE_FACTOR:g}x the stored median {baseline:.6g} "
+                    "(gate disarmed; set REPRO_BENCH_GATE=1 to fail)"
+                )
+        bench_store.append(name, record)
+
+    return _check
+
+
+@pytest.fixture()
+def run_experiment(benchmark, bench_gate):
     """Run a registered experiment under the benchmark clock, assert its
-    claim held, and append the measurement to the trajectory store."""
+    claim held, gate the wall clock against the stored trajectory, and
+    append the measurement."""
     from repro.experiments import EXPERIMENT_REGISTRY
 
     def _run(name: str, quick: bool = True, seed: int = 0):
@@ -45,7 +89,7 @@ def run_experiment(benchmark, bench_store):
         print()
         print(result.to_text())
         assert result.passed, f"{name} claim-shape failed"
-        bench_store.append(
+        bench_gate(
             f"experiment-{name}",
             {
                 "quick": quick,

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four commands cover the deploy-and-inspect loop a downstream user needs
+Five commands cover the deploy-and-inspect loop a downstream user needs
 without writing Python:
 
 * ``generate`` -- sample a named scenario and save it as a JSON instance;
@@ -8,6 +8,8 @@ without writing Python:
   relaxed greedy algorithm, report quality, optionally save the spanner;
 * ``experiments`` -- run the E/F/A/X experiment suite (worker pool +
   JSON artifacts; thin alias for :mod:`repro.experiments.run_all`);
+* ``sweep`` -- fan a (scenario x n x seed) grid across a worker pool and
+  aggregate every cell into one ``results/sweep.json`` report;
 * ``scenarios`` -- list the deployment-pattern registry.
 """
 
@@ -120,6 +122,21 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     return run_all_main(forwarded)
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .experiments.sweep import main as sweep_main
+
+    forwarded = [
+        "--scenarios", args.scenarios,
+        "--sizes", args.sizes,
+        "--seeds", args.seeds,
+        "--epsilon", str(args.epsilon),
+        "--alpha", str(args.alpha),
+        "--jobs", str(args.jobs),
+        "--output", args.output,
+    ]
+    return sweep_main(forwarded)
+
+
 def _cmd_scenarios(args: argparse.Namespace) -> int:
     from .experiments.runner import format_table
 
@@ -180,6 +197,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="JSON artifact directory ('' disables persistence)",
     )
     exp.set_defaults(func=_cmd_experiments)
+
+    sweep = sub.add_parser(
+        "sweep", help="fan a (scenario x n x seed) grid over a worker pool"
+    )
+    sweep.add_argument(
+        "--scenarios", default="",
+        help="comma-separated scenario names (default: all)",
+    )
+    sweep.add_argument("--sizes", default="128,256")
+    sweep.add_argument("--seeds", default="0")
+    sweep.add_argument("--epsilon", type=float, default=0.5)
+    sweep.add_argument("--alpha", type=float, default=1.0)
+    sweep.add_argument("--jobs", type=int, default=1)
+    sweep.add_argument("--output", default="results/sweep.json")
+    sweep.set_defaults(func=_cmd_sweep)
 
     scen = sub.add_parser(
         "scenarios", help="list the deployment-scenario registry"

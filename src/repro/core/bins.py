@@ -18,6 +18,8 @@ from __future__ import annotations
 import math
 from typing import Iterable
 
+import numpy as np
+
 from ..exceptions import GraphError, ParameterError
 from ..params import SpannerParams
 
@@ -40,7 +42,9 @@ class EdgeBinning:
         ``m`` is chosen so that ``W_m >= upper``.
     """
 
-    __slots__ = ("_r", "_alpha", "_n", "_upper", "_w0", "_m", "_log_r")
+    __slots__ = (
+        "_r", "_alpha", "_n", "_upper", "_w0", "_m", "_log_r", "_bounds"
+    )
 
     def __init__(
         self, r: float, alpha: float, n: int, *, upper: float = 1.0
@@ -64,6 +68,7 @@ class EdgeBinning:
         # Guard against floating point shortfall at the top boundary.
         while self.boundary(self._m) < upper:
             self._m += 1
+        self._bounds: np.ndarray | None = None
 
     @classmethod
     def for_params(
@@ -122,6 +127,46 @@ class EdgeBinning:
             )
         return idx
 
+    def _boundaries(self) -> np.ndarray:
+        """All bin boundaries ``W_0 .. W_m`` as one array.
+
+        Built from the exact :meth:`boundary` expression per entry so
+        the vectorized :meth:`bins_of` reproduces the scalar
+        :meth:`bin_of` bit for bit.
+        """
+        if self._bounds is None:
+            self._bounds = np.asarray(
+                [self.boundary(i) for i in range(self._m + 1)],
+                dtype=np.float64,
+            )
+            self._bounds.setflags(write=False)
+        return self._bounds
+
+    def bins_of(self, lengths: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`bin_of` over a length array.
+
+        ``bin_of`` reduces to "the smallest ``i`` with ``W_i >= length``
+        (0 for ``length <= W_0``)", which is one ``searchsorted`` against
+        the exact boundary table; error reporting matches the scalar
+        walk (the first offending length in input order raises).
+        """
+        lengths = np.asarray(lengths, dtype=np.float64)
+        bad = ~(lengths > 0.0)  # catches non-positive and NaN
+        bounds = self._boundaries()
+        idx = np.searchsorted(bounds, lengths, side="left")
+        over = (idx > self._m) & ~bad
+        if bad.any() or over.any():
+            i = int(np.argmax(bad | over))
+            if bad[i]:
+                raise GraphError(
+                    f"edge length must be positive, got {lengths[i]}"
+                )
+            raise GraphError(
+                f"length {lengths[i]} exceeds top bin boundary "
+                f"{self.boundary(self._m)}"
+            )
+        return idx
+
     def assign(
         self, edges: Iterable[tuple[int, int, float]]
     ) -> dict[int, list[tuple[int, int, float]]]:
@@ -129,9 +174,29 @@ class EdgeBinning:
 
         Only non-empty bins appear in the result; the relaxed greedy
         algorithm skips empty phases outright (their cluster covers would
-        never be queried).
+        never be queried).  Bin indices come from one vectorized
+        :meth:`bins_of` call; keys appear in first-occurrence order and
+        per-bin lists keep the input edge order, exactly like the scalar
+        ``setdefault`` walk this replaces.
         """
-        out: dict[int, list[tuple[int, int, float]]] = {}
-        for u, v, w in edges:
-            out.setdefault(self.bin_of(w), []).append((u, v, w))
-        return out
+        edge_list = list(edges)
+        if not edge_list:
+            return {}
+        lengths = np.asarray([w for _, _, w in edge_list], dtype=np.float64)
+        bins = self.bins_of(lengths)
+        order = np.argsort(bins, kind="stable")
+        sorted_bins = bins[order]
+        bounds = np.flatnonzero(
+            np.concatenate(([True], sorted_bins[1:] != sorted_bins[:-1]))
+        )
+        ends = np.append(bounds[1:], order.size)
+        groups = {
+            int(sorted_bins[lo]): [edge_list[i] for i in order[lo:hi].tolist()]
+            for lo, hi in zip(bounds.tolist(), ends.tolist())
+        }
+        # First-occurrence key order, as the scalar setdefault walk had.
+        first_seen: dict[int, None] = {}
+        for b in bins.tolist():
+            if b not in first_seen:
+                first_seen[b] = None
+        return {b: groups[b] for b in first_seen}

@@ -22,17 +22,25 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from typing import Sequence
+
 from ..exceptions import GraphError
 from ..graphs.graph import Graph
 from ..graphs.paths import (
     dijkstra,
+    multi_source_ball_lists,
     multi_source_distances,
     prefer_batched_sources,
     source_block_size,
 )
 from .cover import ClusterCover
 
-__all__ = ["ClusterGraph", "build_cluster_graph"]
+__all__ = [
+    "ClusterGraph",
+    "build_cluster_graph",
+    "build_cluster_graph_reference",
+    "answer_spanner_queries",
+]
 
 
 @dataclass(frozen=True)
@@ -72,17 +80,45 @@ class ClusterGraph:
     def distances_from(
         self, x: int, *, cutoff: float | None = None
     ) -> dict[int, float]:
-        """All ``sp_H(x, .)`` distances within ``cutoff``."""
+        """All ``sp_H(x, .)`` distances within ``cutoff``.
+
+        Single-source dict form (the scalar reference); batch callers
+        use :meth:`distance_rows` instead.
+        """
         return dijkstra(self.graph, x, cutoff=cutoff)
 
+    def distance_rows(
+        self, sources: Sequence[int], *, cutoff: float | None = None
+    ) -> np.ndarray:
+        """Batched ``sp_H`` distances as a ``(k, n)`` array.
+
+        One C-level multi-source Dijkstra over ``H``'s cached CSR
+        snapshot; row ``i`` holds ``sp_H(sources[i], .)`` with ``inf``
+        beyond ``cutoff``.  The array analogue of
+        :meth:`distances_from` backing the vectorized redundancy check
+        and query answering.
+        """
+        return multi_source_distances(self.graph, sources, cutoff=cutoff)
+
     def inter_center_degree(self) -> int:
-        """Maximum number of inter-cluster edges at any center (Lemma 6)."""
-        worst = 0
-        centers = set(self.cover.centers)
-        for a in centers:
-            count = sum(1 for v in self.graph.neighbors(a) if v in centers)
-            worst = max(worst, count)
-        return worst
+        """Maximum number of inter-cluster edges at any center (Lemma 6).
+
+        Counted as one pass over ``H``'s edge arrays (edges with both
+        endpoints centers), not a per-center neighbor scan.
+        """
+        g = self.graph
+        if g.num_edges == 0 or not self.cover.centers:
+            return 0
+        us, vs, _ = g.edges_arrays()
+        is_center = np.zeros(g.num_vertices, dtype=bool)
+        is_center[list(self.cover.centers)] = True
+        both = is_center[us] & is_center[vs]
+        if not both.any():
+            return 0
+        counts = np.bincount(
+            us[both], minlength=g.num_vertices
+        ) + np.bincount(vs[both], minlength=g.num_vertices)
+        return int(counts.max())
 
 
 def build_cluster_graph(
@@ -118,9 +154,200 @@ def build_cluster_graph(
         raise GraphError(f"w_prev must be positive, got {w_prev}")
     if delta <= 0.0:
         raise GraphError(f"delta must be positive, got {delta}")
+    n = spanner.num_vertices
+    h = Graph(n)
+    center_of, center_dist = cover.index_arrays(n)
+
+    # Intra-cluster edges come straight from the cover's center distances.
+    assigned = np.flatnonzero(center_of >= 0)
+    own_center = center_of[assigned]
+    own_dist = center_dist[assigned]
+    intra = (assigned != own_center) & (own_dist > 0.0)
+    h.add_weighted_edges_arrays(
+        own_center[intra], assigned[intra], own_dist[intra]
+    )
+    num_intra = int(np.count_nonzero(intra))
+
+    # Candidate inter-cluster pairs from condition (ii): spanner edges
+    # that cross between clusters -- one scan over the edge arrays.
+    eu, ev, ew = spanner.edges_arrays()
+    ea, eb = center_of[eu], center_of[ev]
+    is_crossing = (ea >= 0) & (eb >= 0) & (ea != eb)
+    longest_crossing = float(ew[is_crossing].max()) if is_crossing.any() else 0.0
+    cross_keys = np.unique(
+        np.minimum(ea[is_crossing], eb[is_crossing]) * np.int64(n)
+        + np.maximum(ea[is_crossing], eb[is_crossing])
+    )
+
+    reach = 2.0 * delta * w_prev + max(w_prev, longest_crossing)
+    centers = sorted(cover.centers)
+    center_arr = np.asarray(centers, dtype=np.int64)
+    pos_of = np.full(n, -1, dtype=np.int64)
+    pos_of[center_arr] = np.arange(center_arr.size, dtype=np.int64)
+    cross_a = cross_keys // n
+    cross_b = cross_keys % n
+    # Inter-cluster candidates (a, b, sp(a, b)) with a < b, possibly
+    # duplicated between conditions (i) and (ii) -- deduplicated below
+    # (duplicates carry identical distances, both read from a's row).
+    pair_a: list[np.ndarray] = []
+    pair_b: list[np.ndarray] = []
+    pair_d: list[np.ndarray] = []
+    # Center-to-center distances within `reach`: batched multi-source
+    # Dijkstra blocks when the reach balls are wide, per-center dict
+    # search when they are tiny (see prefer_batched_sources).
+    if prefer_batched_sources(spanner, centers, reach):
+        block = source_block_size(spanner)
+        for lo in range(0, center_arr.size, block):
+            chunk = center_arr[lo : lo + block]
+            rows = multi_source_distances(spanner, chunk, cutoff=reach)
+            sub = rows[:, center_arr]  # (chunk, num_centers)
+            near = np.isfinite(sub) & (sub <= w_prev)  # condition (i)
+            ii, jj = np.nonzero(near)
+            ga, gb = chunk[ii], center_arr[jj]
+            fwd = gb > ga  # handle each unordered pair once
+            pair_a.append(ga[fwd])
+            pair_b.append(gb[fwd])
+            pair_d.append(sub[ii[fwd], jj[fwd]])
+            # Condition (ii): crossing pairs whose lower center is in
+            # this chunk (pairs are stored (min, max), so a < b).
+            in_chunk = (
+                (pos_of[cross_a] >= lo)
+                & (pos_of[cross_a] < lo + chunk.size)
+                & (pos_of[cross_b] >= 0)
+            )
+            if in_chunk.any():
+                sa, sb = cross_a[in_chunk], cross_b[in_chunk]
+                d = sub[pos_of[sa] - lo, pos_of[sb]]
+                finite = np.isfinite(d)
+                pair_a.append(sa[finite])
+                pair_b.append(sb[finite])
+                pair_d.append(d[finite])
+    else:
+        # Tiny reach balls: one frontier-sharing sparse search from all
+        # centers at once, then pure array filtering.
+        starts, ball_v, ball_d = multi_source_ball_lists(
+            spanner, center_arr, reach
+        )
+        src = np.repeat(
+            np.arange(center_arr.size, dtype=np.int64), np.diff(starts)
+        )
+        tgt = pos_of[ball_v]
+        hit = tgt >= 0
+        ga = center_arr[src[hit]]
+        gb = ball_v[hit]
+        gd = ball_d[hit]
+        fwd = gb > ga  # handle each unordered pair once
+        ga, gb, gd = ga[fwd], gb[fwd], gd[fwd]
+        keys = ga * np.int64(n) + gb
+        is_cross = cross_keys[
+            np.minimum(
+                np.searchsorted(cross_keys, keys), max(cross_keys.size - 1, 0)
+            )
+        ] == keys if cross_keys.size else np.zeros(keys.size, dtype=bool)
+        keep = (gd <= w_prev) | is_cross
+        pair_a.append(ga[keep])
+        pair_b.append(gb[keep])
+        pair_d.append(gd[keep])
+
+    if pair_a:
+        all_a = np.concatenate(pair_a)
+        all_b = np.concatenate(pair_b)
+        all_d = np.concatenate(pair_d)
+        _, first = np.unique(all_a * np.int64(n) + all_b, return_index=True)
+        h.add_weighted_edges_arrays(all_a[first], all_b[first], all_d[first])
+        num_inter = int(first.size)
+        have_keys = np.sort(all_a[first] * np.int64(n) + all_b[first])
+    else:
+        num_inter = 0
+        have_keys = np.empty(0, dtype=np.int64)
+    # Defensive: condition (ii) pairs must have been within the Lemma 5
+    # reach; a miss means the cover or spanner handed to us is inconsistent.
+    present = np.isin(cross_keys, have_keys)
+    if not present.all():
+        key = int(cross_keys[int(np.argmin(present))])
+        raise GraphError(
+            f"inter-cluster edge ({key // n}, {key % n}) required by a "
+            f"crossing spanner edge exceeds the Lemma 5 bound {reach:.6g}"
+        )
+    return ClusterGraph(
+        graph=h,
+        cover=cover,
+        w_prev=w_prev,
+        num_intra_edges=num_intra,
+        num_inter_edges=num_inter,
+    )
+
+
+def answer_spanner_queries(
+    cluster_graph: ClusterGraph,
+    query_edges: list[tuple[int, int, float]],
+    t: float,
+) -> list[bool]:
+    """Step (iv) verdicts: ``True`` iff the query edge joins the spanner.
+
+    A query edge ``(x, y, length)`` is added exactly when ``H`` has no
+    path of length ``<= t * length`` between its endpoints.  All queries
+    of a phase are answered against the same frozen ``H``, so they batch
+    into blocked multi-source Dijkstra rows (grouped by source, one
+    shared cutoff of ``t * max length``); tiny-ball regimes fall back to
+    the per-query cutoff dict Dijkstra (the semantic reference).  Both
+    paths compare the exact same distance against the exact same
+    threshold, so verdicts are identical by construction.
+    """
+    if not query_edges:
+        return []
+    xs = np.asarray([x for x, _, _ in query_edges], dtype=np.int64)
+    ys = np.asarray([y for _, y, _ in query_edges], dtype=np.int64)
+    thresholds = t * np.asarray(
+        [length for _, _, length in query_edges], dtype=np.float64
+    )
+    h = cluster_graph.graph
+    cutoff = float(thresholds.max())
+    sources = np.unique(xs)
+    if prefer_batched_sources(h, sources, cutoff):
+        dist = np.empty(xs.size, dtype=np.float64)
+        block = source_block_size(h)
+        for lo in range(0, sources.size, block):
+            chunk = sources[lo : lo + block]
+            rows = multi_source_distances(h, chunk, cutoff=cutoff)
+            sel = (xs >= chunk[0]) & (xs <= chunk[-1])
+            dist[sel] = rows[np.searchsorted(chunk, xs[sel]), ys[sel]]
+        return (dist > thresholds).tolist()
+    # Tiny balls: sparse frontier-sharing search, then key lookups.
+    starts, ball_v, ball_d = multi_source_ball_lists(h, sources, cutoff)
+    n = np.int64(h.num_vertices)
+    keys = (
+        np.repeat(np.arange(sources.size, dtype=np.int64), np.diff(starts))
+        * n
+        + ball_v
+    )
+    want = np.searchsorted(sources, xs) * n + ys
+    pos = np.searchsorted(keys, want)
+    in_range = pos < keys.size
+    safe = np.where(in_range, pos, 0)
+    found = in_range & (keys[safe] == want)
+    dist = np.where(found, ball_d[safe], np.inf)
+    return (dist > thresholds).tolist()
+
+
+def build_cluster_graph_reference(
+    spanner: Graph,
+    cover: ClusterCover,
+    w_prev: float,
+    delta: float,
+) -> ClusterGraph:
+    """Scalar reference construction of ``H_{i-1}``.
+
+    One cutoff dict-Dijkstra per center and per-pair ``add_edge`` calls;
+    the semantic anchor :func:`build_cluster_graph`'s array assembly is
+    pinned against by the equivalence suite.
+    """
+    if w_prev <= 0.0:
+        raise GraphError(f"w_prev must be positive, got {w_prev}")
+    if delta <= 0.0:
+        raise GraphError(f"delta must be positive, got {delta}")
     h = Graph(spanner.num_vertices)
     num_intra = 0
-    # Intra-cluster edges come straight from the cover's center distances.
     for v, center in cover.assignment.items():
         if v == center:
             continue
@@ -129,8 +356,6 @@ def build_cluster_graph(
             h.add_edge(center, v, d)
             num_intra += 1
 
-    # Candidate inter-cluster pairs from condition (ii): spanner edges that
-    # cross between clusters.
     crossing: set[tuple[int, int]] = set()
     longest_crossing = 0.0
     for u, v, w in spanner.edges():
@@ -142,48 +367,17 @@ def build_cluster_graph(
 
     reach = 2.0 * delta * w_prev + max(w_prev, longest_crossing)
     centers = sorted(cover.centers)
+    center_set = set(centers)
     num_inter = 0
-    # Center-to-center distances within `reach`: batched multi-source
-    # Dijkstra blocks when the reach balls are wide, per-center dict
-    # search when they are tiny (see prefer_batched_sources).
-    if prefer_batched_sources(spanner, centers, reach):
-        center_arr = np.asarray(centers, dtype=np.int64)
-        pos = {c: j for j, c in enumerate(centers)}
-        block = source_block_size(spanner)
-        for lo in range(0, len(centers), block):
-            chunk = center_arr[lo : lo + block]
-            rows = multi_source_distances(spanner, chunk, cutoff=reach)
-            sub = rows[:, center_arr]  # (chunk, num_centers)
-            near = np.isfinite(sub) & (sub <= w_prev)  # condition (i)
-            for i, j in np.argwhere(near).tolist():
-                a, b = int(chunk[i]), int(centers[j])
-                if b <= a:
-                    continue  # handle each unordered pair once
-                if not h.has_edge(a, b):
-                    h.add_edge(a, b, float(sub[i, j]))
-                    num_inter += 1
-            # Condition (ii): crossing pairs whose lower center is in
-            # this chunk (pairs are stored (min, max), so a < b).
-            for a, b in crossing:
-                i = pos[a] - lo
-                if 0 <= i < sub.shape[0]:
-                    d = sub[i, pos[b]]
-                    if np.isfinite(d) and not h.has_edge(a, b):
-                        h.add_edge(a, b, float(d))
-                        num_inter += 1
-    else:
-        center_set = set(centers)
-        for a in centers:
-            for b, d in dijkstra(spanner, a, cutoff=reach).items():
-                if b not in center_set or b <= a:
-                    continue  # handle each unordered pair once
-                is_near = d <= w_prev  # condition (i)
-                is_crossing = (a, b) in crossing  # condition (ii)
-                if (is_near or is_crossing) and not h.has_edge(a, b):
-                    h.add_edge(a, b, d)
-                    num_inter += 1
-    # Defensive: condition (ii) pairs must have been within the Lemma 5
-    # reach; a miss means the cover or spanner handed to us is inconsistent.
+    for a in centers:
+        for b, d in dijkstra(spanner, a, cutoff=reach).items():
+            if b not in center_set or b <= a:
+                continue  # handle each unordered pair once
+            is_near = d <= w_prev  # condition (i)
+            is_crossing = (a, b) in crossing  # condition (ii)
+            if (is_near or is_crossing) and not h.has_edge(a, b):
+                h.add_edge(a, b, d)
+                num_inter += 1
     for a, b in crossing:
         if not h.has_edge(a, b):
             raise GraphError(

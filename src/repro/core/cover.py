@@ -28,12 +28,19 @@ from ..exceptions import GraphError
 from ..graphs.graph import Graph
 from ..graphs.paths import (
     dijkstra,
+    grow_balls_in_order,
+    multi_source_ball_lists,
     multi_source_distances,
     prefer_batched_sources,
     source_block_size,
 )
 
-__all__ = ["ClusterCover", "build_cluster_cover", "cover_from_centers"]
+__all__ = [
+    "ClusterCover",
+    "build_cluster_cover",
+    "build_cluster_cover_reference",
+    "cover_from_centers",
+]
 
 
 @dataclass(frozen=True)
@@ -61,12 +68,75 @@ class ClusterCover:
     centers: tuple[int, ...]
     assignment: dict[int, int]
     center_distance: dict[int, float]
-    members: dict[int, tuple[int, ...]] = field(default_factory=dict)
+    _cache: dict = field(default_factory=dict, compare=False, repr=False)
 
     @property
     def num_clusters(self) -> int:
         """Number of clusters in the cover."""
         return len(self.centers)
+
+    @property
+    def members(self) -> dict[int, tuple[int, ...]]:
+        """``center -> sorted member tuple`` (inverse of ``assignment``).
+
+        Built lazily on first access -- the construction hot paths never
+        need the inverse -- with one lexsort over the assignment arrays.
+        """
+        got = self._cache.get("members")
+        if got is None:
+            got = {c: () for c in self.centers}
+            if self.assignment:
+                vs = np.fromiter(
+                    self.assignment.keys(), np.int64, len(self.assignment)
+                )
+                cs = np.fromiter(
+                    self.assignment.values(), np.int64, len(self.assignment)
+                )
+                order = np.lexsort((vs, cs))
+                vs, cs = vs[order], cs[order]
+                bounds = np.flatnonzero(
+                    np.concatenate(([True], cs[1:] != cs[:-1], [True]))
+                )
+                vlist = vs.tolist()
+                for i, lo in enumerate(bounds[:-1].tolist()):
+                    got[int(cs[lo])] = tuple(vlist[lo : bounds[i + 1]])
+            self._cache["members"] = got
+        return got
+
+    def index_arrays(
+        self, num_vertices: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Dense ``(center_of, dist_to_center)`` arrays of this cover.
+
+        ``center_of[v]`` is -1 and ``dist_to_center[v]`` is ``inf`` for
+        vertices outside the covered universe.  Cached per vertex count
+        (read-only); the array consumers of the construction pipeline --
+        cluster-graph assembly, query selection -- index these instead of
+        doing per-vertex dict lookups.
+        """
+        cached = self._cache.get(num_vertices)
+        if cached is not None:
+            return cached
+        center_of = np.full(num_vertices, -1, dtype=np.int64)
+        dist = np.full(num_vertices, np.inf, dtype=np.float64)
+        if self.assignment:
+            vs = np.fromiter(
+                self.assignment.keys(), np.int64, len(self.assignment)
+            )
+            cs = np.fromiter(
+                self.assignment.values(), np.int64, len(self.assignment)
+            )
+            ds = np.fromiter(
+                (self.center_distance[v] for v in self.assignment),
+                np.float64,
+                len(self.assignment),
+            )
+            center_of[vs] = cs
+            dist[vs] = ds
+        center_of.setflags(write=False)
+        dist.setflags(write=False)
+        self._cache[num_vertices] = (center_of, dist)
+        return center_of, dist
 
     def center_of(self, v: int) -> int:
         """Center of the cluster that vertex ``v`` belongs to."""
@@ -89,15 +159,11 @@ def _finalize(
     assignment: dict[int, int],
     center_distance: dict[int, float],
 ) -> ClusterCover:
-    members: dict[int, list[int]] = {c: [] for c in centers}
-    for v, c in assignment.items():
-        members[c].append(v)
     return ClusterCover(
         radius=radius,
         centers=tuple(centers),
         assignment=assignment,
         center_distance=center_distance,
-        members={c: tuple(sorted(vs)) for c, vs in members.items()},
     )
 
 
@@ -107,6 +173,7 @@ def build_cluster_cover(
     *,
     vertices: Iterable[int] | None = None,
     order: Sequence[int] | None = None,
+    kernel: str = "auto",
 ) -> ClusterCover:
     """Sequential ball-growing cluster cover (Section 2.2.1).
 
@@ -115,6 +182,15 @@ def build_cluster_cover(
     claim every still-uncovered vertex reached.  Centers are only ever
     chosen among uncovered vertices, which yields the required
     ``sp(center_i, center_j) > radius`` separation.
+
+    Executed on one of two kernels with bit-identical output: the scalar
+    per-center dict Dijkstra (the semantic reference, kept in
+    :func:`build_cluster_cover_reference`) and the batched speculative
+    kernel :func:`repro.graphs.paths.grow_balls_in_order` (many balls
+    per search).  ``kernel="auto"`` uses the batched kernel except on
+    trivially small graphs; the kernel itself probes one ball to choose
+    between dense scipy rows and the sparse frontier-sharing search
+    (see :func:`repro.graphs.paths.prefer_batched_sources`).
 
     Parameters
     ----------
@@ -126,6 +202,60 @@ def build_cluster_cover(
         Subset to cover (default: every vertex of ``graph``).
     order:
         Explicit center-candidate order, for deterministic experiments.
+    kernel:
+        ``"auto"`` | ``"scalar"`` | ``"batched"``.
+    """
+    if radius < 0.0:
+        raise GraphError(f"radius must be >= 0, got {radius}")
+    if kernel not in ("auto", "scalar", "batched"):
+        raise GraphError(f"kernel must be auto|scalar|batched, got {kernel!r}")
+    universe = list(vertices) if vertices is not None else list(graph.vertices())
+    todo = list(order) if order is not None else universe
+    if kernel == "auto":
+        # The batched kernel self-selects dense vs sparse search per call;
+        # only trivially small instances stay on the scalar reference.
+        use_batched = bool(todo) and graph.num_vertices >= 256
+    else:
+        use_batched = kernel == "batched"
+    if not use_batched:
+        return build_cluster_cover_reference(
+            graph, radius, vertices=universe, order=todo
+        )
+    n = graph.num_vertices
+    mask: np.ndarray | None = None
+    if vertices is not None:
+        mask = np.zeros(n, dtype=bool)
+        in_range = [u for u in universe if 0 <= u < n]
+        mask[in_range] = True
+    centers, center_of, dist = grow_balls_in_order(
+        graph, radius, np.asarray(todo, dtype=np.int64), universe_mask=mask
+    )
+    claimed = np.flatnonzero(center_of >= 0)
+    assignment = dict(zip(claimed.tolist(), center_of[claimed].tolist()))
+    center_distance = dict(zip(claimed.tolist(), dist[claimed].tolist()))
+    if len(assignment) != len(universe):  # pragma: no cover - defensive
+        missing = sorted(set(universe) - assignment.keys())
+        raise GraphError(f"vertices never covered: {missing[:5]} ...")
+    cover = _finalize(radius, centers, assignment, center_distance)
+    # The kernel's dense arrays ARE the cover index -- seed the cache so
+    # the cluster-graph assembly skips the dict round trip.
+    center_of.setflags(write=False)
+    dist.setflags(write=False)
+    cover._cache[n] = (center_of, dist)
+    return cover
+
+
+def build_cluster_cover_reference(
+    graph: Graph,
+    radius: float,
+    *,
+    vertices: Iterable[int] | None = None,
+    order: Sequence[int] | None = None,
+) -> ClusterCover:
+    """Scalar reference ball growing (one dict Dijkstra per center).
+
+    The semantic anchor the batched kernel is pinned against; also the
+    faster choice when balls are tiny (auto dispatch lands here).
     """
     if radius < 0.0:
         raise GraphError(f"radius must be >= 0, got {radius}")
@@ -179,31 +309,66 @@ def cover_from_centers(
         raise GraphError("centers must lie inside the covered universe")
     assignment: dict[int, int] = {}
     center_distance: dict[int, float] = {}
+    n = graph.num_vertices
+    center_arr = np.asarray(center_list, dtype=np.int64)
+    best = best_d = None
     # Highest-id preference: process centers in increasing id order and
     # let later (higher) centers overwrite.  Wide-reach assignments go
-    # through batched multi-source Dijkstra blocks; tiny-ball regimes
-    # stay on the per-center dict search (see prefer_batched_sources).
+    # through batched multi-source Dijkstra blocks with pure array
+    # claiming; tiny-ball regimes ride the sparse frontier-sharing
+    # search (see prefer_batched_sources).
     if prefer_batched_sources(graph, center_list, radius):
+        in_universe = np.zeros(n, dtype=bool)
+        in_universe[[u for u in universe if 0 <= u < n]] = True
+        best = np.full(n, -1, dtype=np.int64)
+        best_d = np.full(n, np.inf, dtype=np.float64)
         block = source_block_size(graph)
-        for lo in range(0, len(center_list), block):
-            chunk = center_list[lo : lo + block]
+        for lo in range(0, center_arr.size, block):
+            chunk = center_arr[lo : lo + block]
             rows = multi_source_distances(graph, chunk, cutoff=radius)
             reached = np.isfinite(rows)
-            covered = reached.any(axis=0)
             # Highest row index with a finite entry = highest-id center
-            # in this (ascending) chunk that reaches the vertex.
+            # in this (ascending) chunk that reaches the vertex; chunks
+            # ascend too, so later blocks overwrite earlier claims.
             pick = rows.shape[0] - 1 - np.argmax(reached[::-1], axis=0)
-            for v in np.flatnonzero(covered).tolist():
-                if v in universe:
-                    c = chunk[int(pick[v])]
-                    assignment[v] = c
-                    center_distance[v] = float(rows[int(pick[v]), v])
+            sel = np.flatnonzero(reached.any(axis=0) & in_universe)
+            best[sel] = chunk[pick[sel]]
+            best_d[sel] = rows[pick[sel], sel]
+    elif n >= 256:
+        # Tiny balls: sparse frontier-sharing search from all centers,
+        # highest-id (= highest slot, centers ascend) claim per vertex.
+        in_universe = np.zeros(n, dtype=bool)
+        in_universe[[u for u in universe if 0 <= u < n]] = True
+        starts, ball_v, ball_d = multi_source_ball_lists(
+            graph, center_arr, radius
+        )
+        src = np.repeat(
+            np.arange(center_arr.size, dtype=np.int64), np.diff(starts)
+        )
+        keep = in_universe[ball_v]
+        src, ball_v, ball_d = src[keep], ball_v[keep], ball_d[keep]
+        order = np.lexsort((src, ball_v))
+        src, ball_v, ball_d = src[order], ball_v[order], ball_d[order]
+        last = np.ones(ball_v.size, dtype=bool)
+        last[:-1] = ball_v[1:] != ball_v[:-1]
+        best = np.full(n, -1, dtype=np.int64)
+        best_d = np.full(n, np.inf, dtype=np.float64)
+        best[ball_v[last]] = center_arr[src[last]]
+        best_d[ball_v[last]] = ball_d[last]
     else:
         for c in center_list:
             for v, d in dijkstra(graph, c, cutoff=radius).items():
                 if v in universe:
                     assignment[v] = c
                     center_distance[v] = d
+    if best is not None:
+        # Centers always belong to their own cluster (applied on the
+        # arrays first so they can seed the cover's index cache).
+        best[center_arr] = center_arr
+        best_d[center_arr] = 0.0
+        claimed = np.flatnonzero(best >= 0)
+        assignment = dict(zip(claimed.tolist(), best[claimed].tolist()))
+        center_distance = dict(zip(claimed.tolist(), best_d[claimed].tolist()))
     for c in center_list:  # centers always belong to their own cluster
         assignment[c] = c
         center_distance[c] = 0.0
@@ -213,4 +378,9 @@ def cover_from_centers(
             f"{len(missing)} vertices beyond radius {radius} of every center "
             f"(e.g. {sorted(missing)[:5]}); centers do not dominate"
         )
-    return _finalize(radius, list(center_list), assignment, center_distance)
+    cover = _finalize(radius, list(center_list), assignment, center_distance)
+    if best is not None:
+        best.setflags(write=False)
+        best_d.setflags(write=False)
+        cover._cache[n] = (best, best_d)
+    return cover

@@ -23,14 +23,22 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Iterable
 
+import numpy as np
+
 from ..exceptions import GraphError
 from ..graphs.graph import Graph
+from ..graphs.paths import (
+    multi_source_ball_lists,
+    prefer_batched_sources,
+    source_block_size,
+)
 from .cluster_graph import ClusterGraph
 
 __all__ = [
     "RedundancyOutcome",
     "greedy_mis",
     "find_redundant_pairs",
+    "find_redundant_pairs_reference",
     "build_conflict_graph",
     "remove_redundant_edges",
 ]
@@ -100,6 +108,39 @@ def _mutually_redundant(
     return False
 
 
+def _endpoint_distance_matrix(
+    cluster_graph: ClusterGraph, endpoints: list[int], cutoff: float
+) -> np.ndarray:
+    """``D[i, j] = sp_H(endpoints[i], endpoints[j])`` within ``cutoff``.
+
+    Batched :meth:`ClusterGraph.distance_rows` blocks when the cutoff
+    balls are wide, per-endpoint dict Dijkstra when they are tiny; both
+    fill identical floats (``inf`` beyond the cutoff).
+    """
+    h = cluster_graph.graph
+    k = len(endpoints)
+    ep_arr = np.asarray(endpoints, dtype=np.int64)
+    if prefer_batched_sources(h, endpoints, cutoff):
+        out = np.empty((k, k), dtype=np.float64)
+        block = source_block_size(h)
+        for lo in range(0, k, block):
+            rows = cluster_graph.distance_rows(
+                ep_arr[lo : lo + block], cutoff=cutoff
+            )
+            out[lo : lo + rows.shape[0]] = rows[:, ep_arr]
+        return out
+    # Tiny balls: sparse frontier-sharing search, scattered into (k, k).
+    out = np.full((k, k), np.inf, dtype=np.float64)
+    starts, ball_v, ball_d = multi_source_ball_lists(h, ep_arr, cutoff)
+    pos_of = np.full(h.num_vertices, -1, dtype=np.int64)
+    pos_of[ep_arr] = np.arange(k, dtype=np.int64)
+    src = np.repeat(np.arange(k, dtype=np.int64), np.diff(starts))
+    tgt = pos_of[ball_v]
+    hit = tgt >= 0
+    out[src[hit], tgt[hit]] = ball_d[hit]
+    return out
+
+
 def find_redundant_pairs(
     added: list[Edge],
     cluster_graph: ClusterGraph,
@@ -108,6 +149,14 @@ def find_redundant_pairs(
     w_cur: float,
 ) -> list[tuple[Edge, Edge]]:
     """All mutually redundant pairs among this phase's added edges.
+
+    The O(|added|^2) pairwise test runs as one broadcast over stacked
+    endpoint distance rows: both endpoint pairings of the Section 2.2.5
+    conditions are evaluated for every ordered pair at once, then the
+    upper triangle is read off in the reference's ``(i, j)`` loop order.
+    Bit-identical to :func:`find_redundant_pairs_reference` (same float
+    expressions in the same evaluation order), which the equivalence
+    suite pins.
 
     Parameters
     ----------
@@ -122,6 +171,43 @@ def find_redundant_pairs(
         Current bin boundary ``W_i``; redundancy conditions can only hold
         when ``sp_H`` terms are at most ``t1 * W_i``, so Dijkstra runs are
         cut off there.
+    """
+    if t1 <= 1.0:
+        raise GraphError(f"t1 must be > 1, got {t1}")
+    if not added:
+        return []
+    cutoff = t1 * w_cur
+    endpoints = sorted({p for u, v, _ in added for p in (u, v)})
+    D = _endpoint_distance_matrix(cluster_graph, endpoints, cutoff)
+    index = {p: i for i, p in enumerate(endpoints)}
+    iu = np.asarray([index[u] for u, _, _ in added], dtype=np.int64)
+    iv = np.asarray([index[v] for _, v, _ in added], dtype=np.int64)
+    w = np.asarray([length for _, _, length in added], dtype=np.float64)
+    w_i, w_j = w[:, None], w[None, :]
+    # Pairing (u, x), (v, y): s1 = sp_H(u, x), s2 = sp_H(v, y).
+    s1 = D[iu[:, None], iu[None, :]]
+    s2 = D[iv[:, None], iv[None, :]]
+    red = (s1 + w_j + s2 <= t1 * w_i) & (s1 + w_i + s2 <= t1 * w_j)
+    # Pairing (u, y), (v, x) -- the d_J minimum over both pairings.
+    s1 = D[iu[:, None], iv[None, :]]
+    s2 = D[iv[:, None], iu[None, :]]
+    red |= (s1 + w_j + s2 <= t1 * w_i) & (s1 + w_i + s2 <= t1 * w_j)
+    red &= np.tri(len(added), k=-1, dtype=bool).T  # strict upper triangle
+    return [
+        (added[i], added[j]) for i, j in np.argwhere(red).tolist()
+    ]
+
+
+def find_redundant_pairs_reference(
+    added: list[Edge],
+    cluster_graph: ClusterGraph,
+    t1: float,
+    *,
+    w_cur: float,
+) -> list[tuple[Edge, Edge]]:
+    """Scalar reference: per-endpoint dict rows + Python double loop.
+
+    The semantic anchor :func:`find_redundant_pairs` is pinned against.
     """
     if t1 <= 1.0:
         raise GraphError(f"t1 must be > 1, got {t1}")

@@ -33,7 +33,11 @@ from ..exceptions import GraphError
 from ..graphs.graph import Graph
 from ..params import SpannerParams
 from .bins import EdgeBinning
-from .cluster_graph import ClusterGraph, build_cluster_graph
+from .cluster_graph import (
+    ClusterGraph,
+    answer_spanner_queries,
+    build_cluster_graph,
+)
 from .cover import ClusterCover, build_cluster_cover
 from .covered import DistanceOracle, split_covered
 from .redundancy import MISFunction, greedy_mis, remove_redundant_edges
@@ -302,11 +306,14 @@ class RelaxedGreedySpanner:
             spanner, cover, w_prev, params.delta
         )
 
-        # Step (iv): shortest-path queries on H.
+        # Step (iv): shortest-path queries on H, answered as one batch
+        # against the frozen cluster graph.
         added: list[tuple[int, int, float]] = []
-        for x, y, length in selection.edges():
-            threshold = params.t * length
-            if cluster_graph.distance(x, y, cutoff=threshold) > threshold:
+        queries = selection.edges()
+        for (x, y, length), joins in zip(
+            queries, answer_spanner_queries(cluster_graph, queries, params.t)
+        ):
+            if joins:
                 spanner.add_edge(x, y, length)
                 added.append((x, y, length))
 

@@ -46,7 +46,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..core.bins import EdgeBinning
-from ..core.cluster_graph import build_cluster_graph
+from ..core.cluster_graph import answer_spanner_queries, build_cluster_graph
 from ..core.cover import cover_from_centers
 from ..core.covered import DistanceOracle, split_covered
 from ..core.redundancy import (
@@ -375,9 +375,11 @@ class DistributedRelaxedGreedy:
 
         # ---- Step (iv): queries (Theorem 19) --------------------------
         added: list[tuple[int, int, float]] = []
-        for x, y, length in selection.edges():
-            threshold = params.t * length
-            if cluster_graph.distance(x, y, cutoff=threshold) > threshold:
+        queries = selection.edges()
+        for (x, y, length), joins in zip(
+            queries, answer_spanner_queries(cluster_graph, queries, params.t)
+        ):
+            if joins:
                 spanner.add_edge(x, y, length)
                 added.append((x, y, length))
         ledger.charge(

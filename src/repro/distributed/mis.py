@@ -14,6 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Hashable, Mapping
 
+import numpy as np
+
 from ..exceptions import ProtocolError
 from .engine import SynchronousNetwork
 from .protocols.luby import LubyMIS
@@ -54,14 +56,54 @@ def _normalize(
 
 
 def verify_mis(adjacency: Mapping[Hashable, set], chosen: set) -> None:
-    """Raise :class:`ProtocolError` unless ``chosen`` is a valid MIS."""
+    """Raise :class:`ProtocolError` unless ``chosen`` is a valid MIS.
+
+    One flattening pass builds the incidence arrays, then independence
+    (no adjacency row runs from one chosen node to another) and
+    maximality (every unchosen node sees a chosen neighbor) are two
+    boolean reductions -- no per-node set copies or intersections, which
+    is what makes verification cheap on the ``n = 10^4`` proximity
+    graphs of the distributed build.
+    """
+    if not adjacency:
+        return
     chosen = set(chosen)
-    for u in chosen:
-        if adjacency.get(u, set()) & chosen:
-            raise ProtocolError(f"MIS not independent at {u}")
-    for u, nbrs in adjacency.items():
-        if u not in chosen and not set(nbrs) & chosen:
-            raise ProtocolError(f"MIS not maximal at {u}")
+    nodes = list(adjacency)
+    index: dict = {u: i for i, u in enumerate(nodes)}
+    # Neighbor values may include nodes that are not adjacency keys.
+    for nbrs in adjacency.values():
+        for v in nbrs:
+            if v not in index:
+                index[v] = len(index)
+    k = len(nodes)
+    total = len(index)
+    chosen_mask = np.zeros(total, dtype=bool)
+    chosen_mask[[index[u] for u in chosen if u in index]] = True
+    deg = np.fromiter(
+        (len(nbrs) for nbrs in adjacency.values()), np.int64, k
+    )
+    flat = np.fromiter(
+        (index[v] for nbrs in adjacency.values() for v in nbrs),
+        np.int64,
+        int(deg.sum()),
+    )
+    owner = np.repeat(np.arange(k, dtype=np.int64), deg)
+    clash = chosen_mask[owner] & chosen_mask[flat]
+    if clash.any():
+        raise ProtocolError(
+            f"MIS not independent at {nodes[int(owner[int(np.argmax(clash))])]}"
+        )
+    covered = np.bincount(
+        owner[chosen_mask[flat]], minlength=k
+    ) > 0
+    exposed = ~chosen_mask[:k] & ~covered
+    # A chosen node outside the key set cannot dominate anyone we track,
+    # but scalar semantics let it cover nodes adjacent to it -- handled
+    # above because flat indexes every neighbor, key or not.
+    if exposed.any():
+        raise ProtocolError(
+            f"MIS not maximal at {nodes[int(np.argmax(exposed))]}"
+        )
 
 
 def run_luby_mis(

@@ -9,14 +9,23 @@ module implements the classic Cole--Vishkin bit-trick coloring on
 an initial n-coloring (the ids) to 6 colors in ``O(log* n)`` rounds, plus
 the standard shift-down/recolor post-processing to 3 colors, and an MIS
 extraction by sweeping color classes.
+
+Batch tier: colors live in one int64 array; a round is a single gather
+of parent colors through the slot exchange plus the vectorized CV bit
+trick (lowest differing bit via an exact ``frexp`` exponent -- no libm
+rounding in the loop), with message counts read off the child-slot mask.
+Scalar-vs-batch ``RunResult`` equality is pinned by the engine suite.
 """
 
 from __future__ import annotations
 
 from typing import Any, Mapping
 
+import numpy as np
+
 from ...exceptions import ProtocolError
-from ..engine import NodeContext, Protocol
+from ..engine import BatchContext, BatchProtocol, NodeContext
+from .trees import rooted_forest_arrays
 
 __all__ = ["TreeSixColoring", "tree_coloring_to_mis"]
 
@@ -30,7 +39,22 @@ def _cv_step(my_color: int, parent_color: int) -> int:
     return index << 1 | bit
 
 
-class TreeSixColoring(Protocol):
+def _cv_step_batch(color: np.ndarray, parent_color: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`_cv_step` on int64 arrays.
+
+    The lowest set bit of ``color ^ parent_color`` is a power of two, so
+    its index is ``frexp`` exponent minus one -- exact for any id below
+    2^53 (far beyond any vertex count here).
+    """
+    diff = color ^ parent_color
+    low = diff & -diff
+    _, exp = np.frexp(low.astype(np.float64))
+    index = exp.astype(np.int64) - 1
+    bit = (color >> index) & 1
+    return (index << 1) | bit
+
+
+class TreeSixColoring(BatchProtocol):
     """Cole--Vishkin 6-coloring of a rooted forest.
 
     Parameters
@@ -54,6 +78,9 @@ class TreeSixColoring(Protocol):
         self._parents = dict(parents)
         self._rounds = rounds
 
+    # ------------------------------------------------------------------
+    # Scalar tier (semantic reference)
+    # ------------------------------------------------------------------
     def on_start(self, ctx: NodeContext) -> dict[int, Any] | None:
         parent = self._parents.get(ctx.node, ctx.node)
         if parent != ctx.node and parent not in ctx.neighbors:
@@ -93,6 +120,55 @@ class TreeSixColoring(Protocol):
     def output(self, ctx: NodeContext) -> int:
         """Final color."""
         return ctx.state["color"]
+
+    # ------------------------------------------------------------------
+    # Batch tier
+    # ------------------------------------------------------------------
+    def on_start_batch(self, net: BatchContext) -> None:
+        n = net.num_nodes
+        _, is_root, parent_slot, child_slot_mask = rooted_forest_arrays(
+            net,
+            self._parents,
+            error="parent {parent} of {node} is not a topology neighbor",
+        )
+        child_slots = np.flatnonzero(child_slot_mask)
+        color = net.labels.astype(np.int64).copy()
+        net.state.update(
+            color=color,
+            is_root=is_root,
+            parent_slot=parent_slot,
+            child_slots=child_slots,
+            step=0,
+        )
+        if self._rounds == 0:
+            net.halt(np.ones(n, dtype=bool))
+            return
+        # Colors travel as one-word int payloads down every child slot.
+        net.post(int(child_slots.size), int(child_slots.size))
+
+    def on_round_batch(self, net: BatchContext) -> None:
+        st = net.state
+        color: np.ndarray = st["color"]
+        # Every active node sent its color down its child slots last
+        # round, so the parent color is waiting on the parent slot.
+        delivered = net.exchange(color[net.sources])
+        safe_slot = np.maximum(st["parent_slot"], 0)
+        pseudo = np.where(color != 0, 0, 1)
+        parent_color = np.where(
+            st["is_root"], pseudo, delivered[safe_slot]
+        )
+        st["color"] = color = _cv_step_batch(color, parent_color)
+        st["step"] += 1
+        if st["step"] >= self._rounds:
+            net.halt(np.ones(net.num_nodes, dtype=bool))
+            return
+        net.post(int(st["child_slots"].size), int(st["child_slots"].size))
+
+    def outputs_batch(self, net: BatchContext) -> dict[int, int]:
+        color = net.state["color"]
+        return {
+            int(u): int(color[i]) for i, u in enumerate(net.labels)
+        }
 
 
 def cv_rounds_needed(n: int) -> int:

@@ -10,7 +10,12 @@ scan one small file.
 
 The store is deliberately tiny and dependency-free: benches call
 :meth:`BenchStore.append` with whatever metric dict they measured
-(speedups, wall seconds, round counts); nothing is interpreted here.
+(speedups, wall seconds, round counts); the only interpretation offered
+is the regression gate (:meth:`BenchStore.check_regression` /
+:meth:`BenchStore.assert_within_trajectory`), which compares a fresh
+measurement against the stored trajectory's median and fails on a
+configurable slowdown factor -- the read side that closes the bench
+loop in CI.
 """
 
 from __future__ import annotations
@@ -72,6 +77,63 @@ class BenchStore:
         )
         self._refresh_index()
         return path
+
+    # ------------------------------------------------------------------
+    # Regression gate
+    # ------------------------------------------------------------------
+    def check_regression(
+        self,
+        name: str,
+        value: float,
+        *,
+        metric: str = "wall_s",
+        factor: float = 2.0,
+    ) -> tuple[bool, float | None]:
+        """Compare ``value`` against the stored trajectory of ``name``.
+
+        The baseline is the *median* of every previously recorded
+        ``metric`` (robust to one slow CI box in the history).  Returns
+        ``(ok, baseline)``: ``ok`` is False exactly when ``value >
+        factor * baseline``; with no usable history the gate passes
+        trivially and the baseline is ``None``.
+
+        Call this *before* :meth:`append`-ing the fresh run, otherwise
+        the new measurement dilutes its own baseline.
+        """
+        history = [
+            run[metric]
+            for run in self.history(name)
+            if isinstance(run.get(metric), (int, float))
+        ]
+        if not history:
+            return True, None
+        ordered = sorted(history)
+        mid = len(ordered) // 2
+        if len(ordered) % 2:
+            baseline = float(ordered[mid])
+        else:
+            baseline = (ordered[mid - 1] + ordered[mid]) / 2.0
+        return value <= factor * baseline, baseline
+
+    def assert_within_trajectory(
+        self,
+        name: str,
+        value: float,
+        *,
+        metric: str = "wall_s",
+        factor: float = 2.0,
+    ) -> None:
+        """Raise ``AssertionError`` when ``value`` regresses past
+        ``factor`` times the stored median (no-op without history)."""
+        ok, baseline = self.check_regression(
+            name, value, metric=metric, factor=factor
+        )
+        if not ok:
+            raise AssertionError(
+                f"bench regression: {name} {metric}={value:.6g} exceeds "
+                f"{factor:g}x the stored median {baseline:.6g} "
+                f"({len(self.history(name))} prior runs)"
+            )
 
     # ------------------------------------------------------------------
     def _refresh_index(self) -> None:

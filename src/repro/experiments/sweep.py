@@ -1,0 +1,191 @@
+"""Scenario sweep driver: fan a (scenario x n x seed) grid over workers.
+
+Single experiments answer one question about one deployment; the sweep
+driver regenerates the whole quality surface in one command.  Every grid
+cell builds the sequential relaxed greedy spanner for one concrete
+workload, assesses it, and reports one flat row (wall clocks included);
+cells execute on the same process-pool pattern as
+:mod:`repro.experiments.run_all` and the per-cell rows aggregate into a
+single ``results/sweep.json`` artifact (grid provenance + rows +
+per-scenario summary) that dashboards can diff run-to-run.
+
+CLI::
+
+    python -m repro sweep --scenarios uniform,ring --sizes 256,1024 \
+                          --seeds 0,1 --jobs 4 --output results/sweep.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import itertools
+import json
+import sys
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+from ..graphs.analysis import assess
+from ..params import SpannerParams
+from .runner import format_table, stopwatch
+from .workloads import make_workload, scenario_names
+
+__all__ = ["run_cell", "run_sweep", "save_sweep", "main"]
+
+
+def run_cell(
+    scenario: str,
+    n: int,
+    seed: int,
+    *,
+    epsilon: float = 0.5,
+    alpha: float = 1.0,
+) -> dict[str, Any]:
+    """Build + assess one grid cell; returns a flat metrics row.
+
+    Module-level (and keyword-light) so process-pool workers can receive
+    it by reference.
+    """
+    from ..core.relaxed_greedy import RelaxedGreedySpanner
+
+    row: dict[str, Any] = {"scenario": scenario, "n": n, "seed": seed}
+    workload = make_workload(scenario, n, seed, alpha=alpha)
+    params = SpannerParams.from_epsilon(
+        epsilon, alpha=alpha, dim=workload.points.dim
+    )
+    with stopwatch(row, "build_s"):
+        result = RelaxedGreedySpanner(params).build(
+            workload.graph, workload.points.distance
+        )
+    with stopwatch(row, "assess_s"):
+        quality = assess(workload.graph, result.spanner)
+    row.update(
+        input_edges=workload.graph.num_edges,
+        spanner_edges=quality.edges,
+        stretch=round(quality.stretch, 6),
+        max_degree=quality.max_degree,
+        lightness=round(quality.lightness, 6),
+        phases=result.executed_phases,
+        passed=bool(quality.stretch <= params.t * (1.0 + 1e-9)),
+    )
+    return row
+
+
+def _run_cell_args(args: tuple) -> dict[str, Any]:
+    scenario, n, seed, epsilon, alpha = args
+    return run_cell(scenario, n, seed, epsilon=epsilon, alpha=alpha)
+
+
+def run_sweep(
+    scenarios: Sequence[str],
+    sizes: Sequence[int],
+    seeds: Sequence[int],
+    *,
+    epsilon: float = 0.5,
+    alpha: float = 1.0,
+    jobs: int = 1,
+) -> dict[str, Any]:
+    """Execute the full grid and aggregate one report dict.
+
+    Cells run on a process pool when ``jobs > 1``; rows always come back
+    in grid order (scenario-major, then n, then seed), so reports are
+    diffable run-to-run regardless of completion order.
+    """
+    grid = [
+        (s, int(n), int(seed), float(epsilon), float(alpha))
+        for s, n, seed in itertools.product(scenarios, sizes, seeds)
+    ]
+    if jobs > 1 and len(grid) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=min(jobs, len(grid))) as pool:
+            rows = list(pool.map(_run_cell_args, grid))
+    else:
+        rows = [_run_cell_args(cell) for cell in grid]
+
+    summary: dict[str, dict[str, Any]] = {}
+    for scenario in scenarios:
+        cells = [r for r in rows if r["scenario"] == scenario]
+        if not cells:
+            continue
+        summary[scenario] = {
+            "cells": len(cells),
+            "max_stretch": max(r["stretch"] for r in cells),
+            "max_degree": max(r["max_degree"] for r in cells),
+            "max_lightness": max(r["lightness"] for r in cells),
+            "total_build_s": round(sum(r["build_s"] for r in cells), 6),
+            "passed": all(r["passed"] for r in cells),
+        }
+    return {
+        "epsilon": epsilon,
+        "alpha": alpha,
+        "scenarios": list(scenarios),
+        "sizes": [int(n) for n in sizes],
+        "seeds": [int(s) for s in seeds],
+        "num_cells": len(rows),
+        "passed": all(r["passed"] for r in rows),
+        "cells": rows,
+        "summary": summary,
+    }
+
+
+def save_sweep(report: dict[str, Any], path: str | Path) -> Path:
+    """Persist the aggregated sweep report as one JSON artifact."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(report, indent=2, default=str) + "\n")
+    return path
+
+
+def _csv(text: str) -> list[str]:
+    return [part.strip() for part in text.split(",") if part.strip()]
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scenarios", default="",
+        help="comma-separated scenario names (default: all registered)",
+    )
+    parser.add_argument(
+        "--sizes", default="128,256", help="comma-separated node counts"
+    )
+    parser.add_argument(
+        "--seeds", default="0", help="comma-separated workload seeds"
+    )
+    parser.add_argument("--epsilon", type=float, default=0.5)
+    parser.add_argument("--alpha", type=float, default=1.0)
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes (1 = serial)",
+    )
+    parser.add_argument(
+        "--output", default="results/sweep.json",
+        help="aggregated report path ('' skips persistence)",
+    )
+    args = parser.parse_args(argv)
+
+    scenarios = _csv(args.scenarios) or list(scenario_names())
+    unknown = set(scenarios) - set(scenario_names())
+    if unknown:
+        print(
+            f"unknown scenario(s): {sorted(unknown)}; "
+            f"available: {list(scenario_names())}",
+            file=sys.stderr,
+        )
+        return 2
+    sizes = [int(x) for x in _csv(args.sizes)]
+    seeds = [int(x) for x in _csv(args.seeds)]
+    report = run_sweep(
+        scenarios, sizes, seeds,
+        epsilon=args.epsilon, alpha=args.alpha, jobs=args.jobs,
+    )
+    print(format_table(report["cells"]))
+    if args.output:
+        path = save_sweep(report, args.output)
+        print(f"wrote {report['num_cells']} cell(s) to {path}", file=sys.stderr)
+    return 0 if report["passed"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,10 +3,16 @@
 Every algorithm in this library operates on :class:`Graph`: vertices are
 the integers ``0 .. n-1`` (matching :class:`repro.geometry.PointSet`
 labels) and edges carry positive float weights.  The representation is a
-dict-of-dicts adjacency, which supports the access patterns the spanner
-algorithms need (neighbor iteration, O(1) edge queries, cheap dynamic
-insertion) while staying trivially convertible to :mod:`networkx` and
-:mod:`scipy.sparse` for verification and bulk shortest-path work.
+dict-of-dicts adjacency (neighbor iteration, O(1) edge queries, cheap
+dynamic insertion) *paired with an append-log edge store*: every edge
+occupies one row of three aligned growable numpy arrays, so the array
+snapshots (:meth:`edges_arrays`, :meth:`csr`) refresh in O(changed)
+after a mutation burst instead of O(m) -- appends extend the log tail
+and merge into the cached CSR as a delta; only deletions and weight
+overwrites force a full CSR rebuild (still one C-level pass, never a
+per-edge Python loop).  Snapshots handed out stay frozen: the log copies
+itself before any in-place perturbation (copy-on-write), so callers may
+hold arrays across later mutations.
 """
 
 from __future__ import annotations
@@ -19,6 +25,9 @@ from ..exceptions import GraphError
 
 __all__ = ["Graph"]
 
+#: Initial capacity of the append-log buffers.
+_LOG_MIN_CAPACITY = 16
+
 
 class Graph:
     """Undirected weighted graph on vertices ``0 .. n-1``.
@@ -30,17 +39,105 @@ class Graph:
         edges may be added and removed freely.
     """
 
-    __slots__ = ("_adj", "_num_edges", "_edges_cache", "_csr_cache")
+    __slots__ = (
+        "_adj",
+        "_num_edges",
+        "_log_u",
+        "_log_v",
+        "_log_w",
+        "_log_len",
+        "_row_of",
+        "_log_shared",
+        "_edges_cache",
+        "_csr_cache",
+        "_csr_rows",
+    )
 
     def __init__(self, num_vertices: int) -> None:
         if num_vertices < 0:
             raise GraphError(f"num_vertices must be >= 0, got {num_vertices}")
         self._adj: list[dict[int, float]] = [{} for _ in range(num_vertices)]
         self._num_edges = 0
+        # Append-log edge store: row i holds edge (_log_u[i], _log_v[i])
+        # with _log_u < _log_v; _row_of maps the normalized pair to its
+        # row for O(1) weight overwrites and swap-deletes.
+        self._log_u = np.empty(0, dtype=np.int64)
+        self._log_v = np.empty(0, dtype=np.int64)
+        self._log_w = np.empty(0, dtype=np.float64)
+        self._log_len = 0
+        self._row_of: dict[tuple[int, int], int] = {}
+        # True once edges_arrays() handed out views of the log buffers;
+        # in-place perturbations must copy first (copy-on-write).
+        self._log_shared = False
         self._edges_cache: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
         self._csr_cache = None
+        # Number of log rows reflected in _csr_cache (appends beyond it
+        # merge as a delta; deletions/overwrites null the cache instead).
+        self._csr_rows = 0
 
-    def _invalidate_caches(self) -> None:
+    # ------------------------------------------------------------------
+    # Append-log plumbing
+    # ------------------------------------------------------------------
+    def _log_materialize(self) -> None:
+        """Copy the log buffers so previously handed-out snapshot views
+        stay frozen (called before any in-place write)."""
+        m = self._log_len
+        self._log_u = self._log_u[:m].copy()
+        self._log_v = self._log_v[:m].copy()
+        self._log_w = self._log_w[:m].copy()
+        self._log_shared = False
+
+    def _log_reserve(self, extra: int) -> None:
+        """Grow the log buffers to hold ``extra`` more rows (amortized
+        doubling; reallocation leaves old snapshot views untouched)."""
+        need = self._log_len + extra
+        cap = self._log_u.shape[0]
+        if need <= cap:
+            return
+        new_cap = max(_LOG_MIN_CAPACITY, need, 2 * cap)
+        for name, dtype in (
+            ("_log_u", np.int64),
+            ("_log_v", np.int64),
+            ("_log_w", np.float64),
+        ):
+            buf = np.empty(new_cap, dtype=dtype)
+            buf[: self._log_len] = getattr(self, name)[: self._log_len]
+            setattr(self, name, buf)
+        self._log_shared = False
+
+    def _log_append(self, a: int, b: int, w: float) -> None:
+        """Append one normalized edge row (``a < b``)."""
+        self._log_reserve(1)
+        i = self._log_len
+        self._log_u[i] = a
+        self._log_v[i] = b
+        self._log_w[i] = w
+        self._row_of[(a, b)] = i
+        self._log_len = i + 1
+        self._edges_cache = None
+
+    def _log_set_weight(self, row: int, w: float) -> None:
+        """Overwrite one row's weight in place (copy-on-write)."""
+        if self._log_shared:
+            self._log_materialize()
+        self._log_w[row] = w
+        self._edges_cache = None
+        self._csr_cache = None
+
+    def _log_delete(self, a: int, b: int) -> None:
+        """Swap-delete one normalized edge row (copy-on-write)."""
+        row = self._row_of.pop((a, b))
+        if self._log_shared:
+            self._log_materialize()
+        last = self._log_len - 1
+        if row != last:
+            lu = int(self._log_u[last])
+            lv = int(self._log_v[last])
+            self._log_u[row] = lu
+            self._log_v[row] = lv
+            self._log_w[row] = self._log_w[last]
+            self._row_of[(lu, lv)] = row
+        self._log_len = last
         self._edges_cache = None
         self._csr_cache = None
 
@@ -111,26 +208,21 @@ class Graph:
     def edges_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """All edges as aligned arrays ``(u, v, w)`` with ``u < v``.
 
-        Rows appear in :meth:`edges` order; the arrays feed the vectorized
-        baselines and bulk analyses without per-edge Python iteration.
-        The result is cached until the next mutation and returned with
-        ``writeable=False`` -- callers needing scratch space must copy.
+        Rows appear in insertion-log order (an unspecified but
+        deterministic order; deletions may reorder surviving rows).  The
+        arrays are O(1) read-only views of the append-log edge store --
+        refreshing after ``k`` appends costs O(k), not O(m) -- and stay
+        frozen across later mutations (the store copies itself before
+        any in-place write).  Callers needing scratch space must copy.
         """
         if self._edges_cache is None:
-            m = self._num_edges
-            us = np.empty(m, dtype=np.int64)
-            vs = np.empty(m, dtype=np.int64)
-            ws = np.empty(m, dtype=np.float64)
-            i = 0
-            for u, nbrs in enumerate(self._adj):
-                for v, w in nbrs.items():
-                    if u < v:
-                        us[i] = u
-                        vs[i] = v
-                        ws[i] = w
-                        i += 1
+            m = self._log_len
+            us = self._log_u[:m]
+            vs = self._log_v[:m]
+            ws = self._log_w[:m]
             for arr in (us, vs, ws):
                 arr.setflags(write=False)
+            self._log_shared = True
             self._edges_cache = (us, vs, ws)
         return self._edges_cache
 
@@ -139,19 +231,15 @@ class Graph:
 
         ``indices[indptr[u]:indptr[u+1]]`` lists the neighbors of ``u``
         (sorted ascending for determinism) with aligned ``weights``.
+        Derived from the cached CSR snapshot (one array copy per call;
+        the returned arrays are fresh and writable).
         """
-        n = self.num_vertices
-        indptr = np.zeros(n + 1, dtype=np.int64)
-        for u, nbrs in enumerate(self._adj):
-            indptr[u + 1] = indptr[u] + len(nbrs)
-        indices = np.empty(int(indptr[-1]), dtype=np.int64)
-        weights = np.empty(int(indptr[-1]), dtype=np.float64)
-        for u, nbrs in enumerate(self._adj):
-            lo = int(indptr[u])
-            order = sorted(nbrs)
-            indices[lo : lo + len(order)] = order
-            weights[lo : lo + len(order)] = [nbrs[v] for v in order]
-        return indptr, indices, weights
+        mat = self.csr()
+        return (
+            mat.indptr.astype(np.int64),
+            mat.indices.astype(np.int64),
+            mat.data.astype(np.float64),
+        )
 
     # ------------------------------------------------------------------
     # Mutation
@@ -171,11 +259,16 @@ class Graph:
             raise GraphError(
                 f"edge weight must be positive, got {weight} for ({u}, {v})"
             )
-        if v not in self._adj[u]:
+        w = float(weight)
+        a, b = (u, v) if u < v else (v, u)
+        row = self._row_of.get((a, b))
+        if row is None:
             self._num_edges += 1
-        self._adj[u][v] = float(weight)
-        self._adj[v][u] = float(weight)
-        self._invalidate_caches()
+            self._log_append(a, b, w)
+        else:
+            self._log_set_weight(row, w)
+        self._adj[u][v] = w
+        self._adj[v][u] = w
 
     def remove_edge(self, u: int, v: int) -> None:
         """Delete the edge ``{u, v}``; raises if absent."""
@@ -186,7 +279,7 @@ class Graph:
         del self._adj[u][v]
         del self._adj[v][u]
         self._num_edges -= 1
-        self._invalidate_caches()
+        self._log_delete(min(u, v), max(u, v))
 
     def add_edges_from(
         self, edges: Iterable[tuple[int, int, float]]
@@ -237,15 +330,40 @@ class Graph:
                 f"{float(w[i])} for ({int(u[i])}, {int(v[i])})"
             )
         adj = self._adj
+        row_of = self._row_of
+        k = u.shape[0]
+        a_norm = np.minimum(u, v)
+        b_norm = np.maximum(u, v)
+        keys = list(zip(a_norm.tolist(), b_norm.tolist()))
+        if len(set(keys)) == k and row_of.keys().isdisjoint(keys):
+            # All-new batch (the builder hot path): append the log rows
+            # as one slice write instead of per-edge calls.
+            self._log_reserve(k)
+            lo = self._log_len
+            self._log_u[lo : lo + k] = a_norm
+            self._log_v[lo : lo + k] = b_norm
+            self._log_w[lo : lo + k] = w
+            row_of.update(zip(keys, range(lo, lo + k)))
+            self._log_len = lo + k
+            for x, y, wt in zip(u.tolist(), v.tolist(), w.tolist()):
+                adj[x][y] = wt
+                adj[y][x] = wt
+            self._num_edges += k
+            self._edges_cache = None
+            return
+        self._log_reserve(k)
         new_edges = 0
         for a, b, wt in zip(u.tolist(), v.tolist(), w.tolist()):
             row = adj[a]
             if b not in row:
                 new_edges += 1
+                self._log_append(min(a, b), max(a, b), wt)
+            else:
+                self._log_set_weight(row_of[(min(a, b), max(a, b))], wt)
             row[b] = wt
             adj[b][a] = wt
         self._num_edges += new_edges
-        self._invalidate_caches()
+        self._edges_cache = None
 
     # ------------------------------------------------------------------
     # Derived graphs
@@ -256,6 +374,12 @@ class Graph:
         for u, nbrs in enumerate(self._adj):
             out._adj[u] = dict(nbrs)
         out._num_edges = self._num_edges
+        m = self._log_len
+        out._log_u = self._log_u[:m].copy()
+        out._log_v = self._log_v[:m].copy()
+        out._log_w = self._log_w[:m].copy()
+        out._log_len = m
+        out._row_of = dict(self._row_of)
         return out
 
     def subgraph(self, nodes: Iterable[int]) -> "Graph":
@@ -352,15 +476,36 @@ class Graph:
         """Symmetric :class:`scipy.sparse.csr_matrix` snapshot of the graph.
 
         This is the single array interchange format the analysis, path,
-        MST and component kernels consume.  The matrix is built in O(m)
-        from :meth:`edges_arrays` and cached until the next mutation;
-        treat it as read-only (every kernel does).
+        MST and component kernels consume.  The matrix is cached; after
+        an append-only mutation burst it refreshes by merging just the
+        ``k`` new log rows into the cached matrix (one C-level delta
+        merge -- no per-edge Python work and no coordinate re-sort of the
+        existing structure).  Deletions and weight overwrites fall back
+        to a full O(m) C-level rebuild from :meth:`edges_arrays`.  Treat
+        the result as read-only (every kernel does); it is never mutated
+        in place, so held references stay valid across graph mutations.
         """
-        if self._csr_cache is None:
-            from scipy.sparse import coo_matrix
+        if self._csr_cache is not None and self._csr_rows == self._log_len:
+            return self._csr_cache
+        from scipy.sparse import coo_matrix
 
+        n = self.num_vertices
+        if self._csr_cache is not None and self._csr_rows < self._log_len:
+            # Append-only delta: merge just the new rows (both directions).
+            lo, hi = self._csr_rows, self._log_len
+            du = self._log_u[lo:hi]
+            dv = self._log_v[lo:hi]
+            dw = self._log_w[lo:hi]
+            delta = coo_matrix(
+                (
+                    np.concatenate([dw, dw]),
+                    (np.concatenate([du, dv]), np.concatenate([dv, du])),
+                ),
+                shape=(n, n),
+            ).tocsr()
+            self._csr_cache = self._csr_cache + delta
+        else:
             us, vs, ws = self.edges_arrays()
-            n = self.num_vertices
             self._csr_cache = coo_matrix(
                 (
                     np.concatenate([ws, ws]),
@@ -368,6 +513,7 @@ class Graph:
                 ),
                 shape=(n, n),
             ).tocsr()
+        self._csr_rows = self._log_len
         return self._csr_cache
 
     def to_scipy_csr(self):

@@ -2,6 +2,8 @@
 
 import json
 
+import pytest
+
 from repro.experiments.bench_store import BenchStore
 
 
@@ -38,3 +40,50 @@ class TestBenchStore:
         assert len(store.history("weird name/with:chars")) == 2
         data = json.loads(path.read_text())
         assert len(data["runs"]) == 2
+
+
+class TestRegressionGate:
+    def test_no_history_passes_trivially(self, tmp_path):
+        store = BenchStore(tmp_path / "bench")
+        ok, baseline = store.check_regression("fresh", 123.0)
+        assert ok and baseline is None
+        store.assert_within_trajectory("fresh", 123.0)  # no-op
+
+    def test_median_baseline_and_threshold(self, tmp_path):
+        store = BenchStore(tmp_path / "bench")
+        for wall in (1.0, 2.0, 10.0):  # median 2.0 despite one slow run
+            store.append("seq", {"wall_s": wall})
+        ok, baseline = store.check_regression("seq", 3.9)
+        assert ok and baseline == 2.0
+        ok, _ = store.check_regression("seq", 4.1)
+        assert not ok
+
+    def test_assert_raises_with_context(self, tmp_path):
+        store = BenchStore(tmp_path / "bench")
+        store.append("seq", {"wall_s": 1.0})
+        store.append("seq", {"wall_s": 1.0})
+        with pytest.raises(AssertionError, match="bench regression: seq"):
+            store.assert_within_trajectory("seq", 2.5)
+        store.assert_within_trajectory("seq", 1.9)
+
+    def test_non_numeric_and_missing_metrics_ignored(self, tmp_path):
+        store = BenchStore(tmp_path / "bench")
+        store.append("seq", {"wall_s": "broken"})
+        store.append("seq", {"other": 1.0})
+        ok, baseline = store.check_regression("seq", 99.0)
+        assert ok and baseline is None
+        store.append("seq", {"wall_s": 2.0})
+        ok, baseline = store.check_regression("seq", 3.0)
+        assert ok and baseline == 2.0
+
+    def test_custom_metric_and_factor(self, tmp_path):
+        store = BenchStore(tmp_path / "bench")
+        store.append("luby", {"rounds": 10})
+        ok, _ = store.check_regression(
+            "luby", 14.0, metric="rounds", factor=1.5
+        )
+        assert ok
+        ok, _ = store.check_regression(
+            "luby", 16.0, metric="rounds", factor=1.5
+        )
+        assert not ok

@@ -1,0 +1,340 @@
+"""Batched construction kernels vs their scalar references, bit for bit.
+
+Every array port of the construction core -- ball-growing cover,
+center-based cover, cluster-graph assembly, redundancy pair detection,
+query answering, covered-edge filtering, edge binning -- is pinned here
+against the retained scalar reference on randomized workloads: equal
+centers, assignments, distances (exact float equality), graphs, pair
+lists and verdicts.
+"""
+
+import numpy as np
+import pytest
+
+import repro.core.cluster_graph as cluster_graph_mod
+import repro.core.cover as cover_mod
+import repro.core.redundancy as redundancy_mod
+import repro.graphs.paths as paths_mod
+from repro.core.bins import EdgeBinning
+from repro.core.cluster_graph import (
+    answer_spanner_queries,
+    build_cluster_graph,
+    build_cluster_graph_reference,
+)
+from repro.core.cover import (
+    build_cluster_cover,
+    build_cluster_cover_reference,
+    cover_from_centers,
+)
+from repro.core.covered import split_covered
+from repro.core.redundancy import (
+    find_redundant_pairs,
+    find_redundant_pairs_reference,
+)
+from repro.core.relaxed_greedy import build_spanner
+from repro.experiments.workloads import make_workload
+from repro.graphs.paths import dijkstra, multi_source_ball_lists
+
+
+def assert_covers_equal(a, b):
+    assert a.centers == b.centers
+    assert a.assignment == b.assignment
+    assert a.center_distance == b.center_distance
+    assert a.members == b.members
+
+
+RADII = (0.0, 0.03, 0.1, 0.3, 1.0, 4.0)
+
+
+class TestSparseBallKernel:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_ball_lists_match_dict_dijkstra(self, seed):
+        wl = make_workload("clustered", 150, seed=seed)
+        g = wl.graph
+        rng = np.random.default_rng(seed)
+        sources = np.sort(rng.choice(g.num_vertices, 25, replace=False))
+        for cutoff in (0.0, 0.08, 0.4, 2.0):
+            starts, verts, dists = multi_source_ball_lists(
+                g, sources, cutoff
+            )
+            for i, s in enumerate(sources.tolist()):
+                got = dict(
+                    zip(
+                        verts[starts[i] : starts[i + 1]].tolist(),
+                        dists[starts[i] : starts[i + 1]].tolist(),
+                    )
+                )
+                assert got == dijkstra(g, s, cutoff=cutoff)
+
+
+class TestClusterCoverEquivalence:
+    @pytest.mark.parametrize("scenario,n", [("uniform", 300), ("corridor", 280)])
+    def test_batched_kernel_matches_reference(self, scenario, n):
+        wl = make_workload(scenario, n, seed=5)
+        for radius in RADII:
+            batched = build_cluster_cover(wl.graph, radius, kernel="batched")
+            scalar = build_cluster_cover_reference(wl.graph, radius)
+            assert_covers_equal(batched, scalar)
+
+    def test_explicit_order_and_universe(self):
+        wl = make_workload("uniform", 300, seed=9)
+        rng = np.random.default_rng(9)
+        order = rng.permutation(300).tolist()
+        universe = sorted(rng.choice(300, 220, replace=False).tolist())
+        order_u = [u for u in order if u in set(universe)]
+        for radius in (0.05, 0.4):
+            batched = build_cluster_cover(
+                wl.graph, radius, vertices=universe, order=order_u,
+                kernel="batched",
+            )
+            scalar = build_cluster_cover_reference(
+                wl.graph, radius, vertices=universe, order=order_u
+            )
+            assert_covers_equal(batched, scalar)
+
+    def test_order_outside_universe_raises_like_reference(self):
+        wl = make_workload("uniform", 300, seed=2)
+        universe = list(range(200))
+        from repro.exceptions import GraphError
+
+        with pytest.raises(GraphError, match="outside the universe"):
+            build_cluster_cover(
+                wl.graph, 0.2, vertices=universe, order=[0, 250],
+                kernel="batched",
+            )
+        with pytest.raises(GraphError, match="outside the universe"):
+            build_cluster_cover_reference(
+                wl.graph, 0.2, vertices=universe, order=[0, 250]
+            )
+
+    def test_auto_kernel_matches_reference(self):
+        wl = make_workload("uniform", 400, seed=3)
+        for radius in RADII:
+            assert_covers_equal(
+                build_cluster_cover(wl.graph, radius),
+                build_cluster_cover_reference(wl.graph, radius),
+            )
+
+
+class TestCoverFromCentersEquivalence:
+    @pytest.mark.parametrize("radius", [0.08, 0.3, 1.5])
+    def test_all_inner_paths_agree(self, radius, monkeypatch):
+        wl = make_workload("uniform", 300, seed=11)
+        # Centers from ball growing dominate the graph at this radius.
+        centers = build_cluster_cover(wl.graph, radius).centers
+        outputs = []
+        for forced in (True, False, None):
+            if forced is None:
+                monkeypatch.undo()
+            else:
+                monkeypatch.setattr(
+                    cover_mod,
+                    "prefer_batched_sources",
+                    lambda g, s, c, _f=forced: _f,
+                )
+            outputs.append(cover_from_centers(wl.graph, radius, centers))
+        assert_covers_equal(outputs[0], outputs[1])
+        assert_covers_equal(outputs[0], outputs[2])
+
+    def test_matches_handwritten_scalar_reference(self):
+        wl = make_workload("uniform", 280, seed=13)
+        radius = 0.35
+        centers = sorted(build_cluster_cover(wl.graph, radius).centers)
+        got = cover_from_centers(wl.graph, radius, centers)
+        assignment, distances = {}, {}
+        for c in centers:  # ascending: higher ids overwrite
+            for v, d in dijkstra(wl.graph, c, cutoff=radius).items():
+                assignment[v] = c
+                distances[v] = d
+        for c in centers:
+            assignment[c] = c
+            distances[c] = 0.0
+        assert got.assignment == assignment
+        assert got.center_distance == distances
+
+
+def _phase_inputs(scenario, n, seed, radius_scale):
+    """A realistic mid-phase state: partial spanner + cover + binning."""
+    wl = make_workload(scenario, n, seed=seed)
+    g = wl.graph
+    us, vs, ws = g.edges_arrays()
+    w_prev = float(np.quantile(ws, 0.3)) if ws.size else 0.1
+    keep = ws <= w_prev
+    spanner_edges = list(
+        zip(us[keep].tolist(), vs[keep].tolist(), ws[keep].tolist())
+    )
+    from repro.graphs.graph import Graph
+
+    spanner = Graph(n)
+    for u, v, w in spanner_edges:
+        spanner.add_edge(u, v, w)
+    delta = 0.25 * radius_scale
+    cover = build_cluster_cover(spanner, delta * w_prev)
+    return wl, spanner, cover, w_prev, delta
+
+
+class TestClusterGraphEquivalence:
+    @pytest.mark.parametrize(
+        "scenario,n,scale", [("uniform", 300, 1.0), ("clustered", 260, 2.0)]
+    )
+    def test_matches_reference(self, scenario, n, scale):
+        _, spanner, cover, w_prev, delta = _phase_inputs(
+            scenario, n, 7, scale
+        )
+        got = build_cluster_graph(spanner, cover, w_prev, delta)
+        ref = build_cluster_graph_reference(spanner, cover, w_prev, delta)
+        assert got.graph == ref.graph
+        assert got.num_intra_edges == ref.num_intra_edges
+        assert got.num_inter_edges == ref.num_inter_edges
+        assert got.inter_center_degree() == ref.inter_center_degree()
+
+    def test_both_probe_branches_match_reference(self, monkeypatch):
+        _, spanner, cover, w_prev, delta = _phase_inputs("uniform", 300, 8, 1.0)
+        ref = build_cluster_graph_reference(spanner, cover, w_prev, delta)
+        for forced in (True, False):
+            monkeypatch.setattr(
+                cluster_graph_mod,
+                "prefer_batched_sources",
+                lambda g, s, c, _f=forced: _f,
+            )
+            got = build_cluster_graph(spanner, cover, w_prev, delta)
+            assert got.graph == ref.graph
+            assert got.num_inter_edges == ref.num_inter_edges
+
+
+class TestRedundancyEquivalence:
+    def _added_edges(self, seed, k=18):
+        _, spanner, cover, w_prev, delta = _phase_inputs("uniform", 300, seed, 1.0)
+        h = build_cluster_graph(spanner, cover, w_prev, delta)
+        rng = np.random.default_rng(seed)
+        added = []
+        seen = set()
+        while len(added) < k:
+            u, v = int(rng.integers(300)), int(rng.integers(300))
+            if u != v and (min(u, v), max(u, v)) not in seen:
+                seen.add((min(u, v), max(u, v)))
+                added.append((u, v, float(rng.uniform(w_prev, 2 * w_prev))))
+        return added, h, w_prev
+
+    @pytest.mark.parametrize("seed", [0, 4])
+    def test_pairs_match_reference(self, seed):
+        added, h, w_prev = self._added_edges(seed)
+        for t1 in (1.2, 2.0, 4.0):
+            got = find_redundant_pairs(added, h, t1, w_cur=2 * w_prev)
+            ref = find_redundant_pairs_reference(
+                added, h, t1, w_cur=2 * w_prev
+            )
+            assert got == ref
+
+    def test_both_probe_branches_match(self, monkeypatch):
+        added, h, w_prev = self._added_edges(1)
+        ref = find_redundant_pairs_reference(added, h, 2.5, w_cur=2 * w_prev)
+        for forced in (True, False):
+            monkeypatch.setattr(
+                redundancy_mod,
+                "prefer_batched_sources",
+                lambda g, s, c, _f=forced: _f,
+            )
+            assert find_redundant_pairs(added, h, 2.5, w_cur=2 * w_prev) == ref
+
+
+class TestQueryAnswering:
+    def test_verdicts_match_scalar_distance(self, monkeypatch):
+        _, spanner, cover, w_prev, delta = _phase_inputs("uniform", 300, 6, 1.0)
+        h = build_cluster_graph(spanner, cover, w_prev, delta)
+        rng = np.random.default_rng(6)
+        queries = [
+            (int(rng.integers(300)), int(rng.integers(299)), float(rng.uniform(0.01, 0.5)))
+            for _ in range(40)
+        ]
+        queries = [(x, y if y < x else y + 1, w) for x, y, w in queries]
+        t = 1.5
+        expected = [
+            h.distance(x, y, cutoff=t * w) > t * w for x, y, w in queries
+        ]
+        for forced in (True, False):
+            monkeypatch.setattr(
+                cluster_graph_mod,
+                "prefer_batched_sources",
+                lambda g, s, c, _f=forced: _f,
+            )
+            assert answer_spanner_queries(h, queries, t) == expected
+
+
+class TestCoveredFilterEquivalence:
+    @pytest.mark.parametrize("scenario", ["uniform", "clustered"])
+    def test_batch_oracle_matches_scalar_oracle(self, scenario):
+        wl, spanner, _, w_prev, _ = _phase_inputs(scenario, 280, 12, 1.0)
+        us, vs, ws = wl.graph.edges_arrays()
+        sel = ws > w_prev
+        bin_edges = list(
+            zip(us[sel].tolist(), vs[sel].tolist(), ws[sel].tolist())
+        )[:300]
+        batch = split_covered(
+            bin_edges, spanner, wl.points.distance, alpha=1.0, theta=0.5
+        )
+        scalar_oracle = lambda u, v: wl.points.distance(u, v)  # noqa: E731
+        scalar = split_covered(
+            bin_edges, spanner, scalar_oracle, alpha=1.0, theta=0.5
+        )
+        assert batch == scalar
+
+
+class TestBinningEquivalence:
+    def test_bins_of_matches_bin_of(self):
+        binning = EdgeBinning(1.3, 0.8, 500)
+        rng = np.random.default_rng(3)
+        lengths = np.concatenate(
+            [
+                rng.uniform(1e-6, 1.0, 400),
+                binning._boundaries(),  # exact boundary hits
+                [0.8 / 500],
+            ]
+        )
+        assert binning.bins_of(lengths).tolist() == [
+            binning.bin_of(float(w)) for w in lengths
+        ]
+
+    def test_assign_matches_scalar_walk(self):
+        binning = EdgeBinning(1.4, 1.0, 300)
+        rng = np.random.default_rng(4)
+        edges = [
+            (int(rng.integers(300)), int(rng.integers(300)), float(w))
+            for w in rng.uniform(1e-5, 1.0, 500)
+        ]
+        got = binning.assign(edges)
+        ref: dict = {}
+        for u, v, w in edges:
+            ref.setdefault(binning.bin_of(w), []).append((u, v, w))
+        assert got == ref
+        assert list(got) == list(ref)  # first-occurrence key order
+
+    def test_assign_error_matches_scalar_walk(self):
+        from repro.exceptions import GraphError
+
+        binning = EdgeBinning(1.5, 1.0, 100)
+        with pytest.raises(GraphError, match="must be positive"):
+            binning.assign([(0, 1, 0.5), (1, 2, -1.0), (2, 3, 99.0)])
+        with pytest.raises(GraphError, match="exceeds top bin"):
+            binning.assign([(0, 1, 0.5), (1, 2, 99.0), (2, 3, -1.0)])
+
+
+class TestEndToEndPinning:
+    def test_spanner_identical_under_forced_probe(self, monkeypatch):
+        wl = make_workload("uniform", 350, seed=21)
+        baseline = build_spanner(wl.graph, wl.points.distance, 0.5)
+        base_edges = sorted(baseline.spanner.edges())
+        base_phases = [
+            (p.index, p.num_clusters, p.num_queries, p.num_added, p.num_removed)
+            for p in baseline.phases
+        ]
+        for forced in (True, False):
+            force = lambda g, s, c, _f=forced: _f
+            for mod in (paths_mod, cover_mod, cluster_graph_mod, redundancy_mod):
+                monkeypatch.setattr(mod, "prefer_batched_sources", force)
+            result = build_spanner(wl.graph, wl.points.distance, 0.5)
+            assert sorted(result.spanner.edges()) == base_edges
+            assert [
+                (p.index, p.num_clusters, p.num_queries, p.num_added, p.num_removed)
+                for p in result.phases
+            ] == base_phases

@@ -179,7 +179,7 @@ class TestArrayApis:
 
         g = triangle()
         u, v, w = g.edges_arrays()
-        assert list(zip(u.tolist(), v.tolist(), w.tolist())) == list(
+        assert sorted(zip(u.tolist(), v.tolist(), w.tolist())) == sorted(
             g.edges()
         )
         assert u.dtype == np.int64 and w.dtype == np.float64

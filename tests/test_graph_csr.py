@@ -95,9 +95,35 @@ class TestEdgesArraysCache:
         assert us2 is not us
         assert 7.0 in ws2.tolist()
 
-    def test_row_order_matches_edges_iter(self):
+    def test_rows_match_edges_iter_as_sets(self):
+        # Rows follow insertion-log order (not edges() order); the edge
+        # multiset is identical.
         g = triangle()
         us, vs, ws = g.edges_arrays()
-        assert list(zip(us.tolist(), vs.tolist(), ws.tolist())) == list(
+        assert sorted(zip(us.tolist(), vs.tolist(), ws.tolist())) == sorted(
             g.edges()
         )
+
+    def test_append_rows_land_at_log_tail(self):
+        g = Graph(5)
+        g.add_edge(0, 1, 1.0)
+        g.add_edge(1, 2, 2.0)
+        old_us, old_vs, old_ws = g.edges_arrays()  # snapshot views out
+        g.add_edge(4, 3, 3.0)  # genuinely new row, reversed orientation
+        g.add_edge(0, 4, 4.0)
+        us, vs, ws = g.edges_arrays()
+        # New rows appended at the tail, normalized u < v, in order.
+        assert list(zip(us.tolist(), vs.tolist(), ws.tolist())) == [
+            (0, 1, 1.0), (1, 2, 2.0), (3, 4, 3.0), (0, 4, 4.0),
+        ]
+        # The previously handed-out snapshot is untouched by the appends.
+        assert list(zip(old_us.tolist(), old_vs.tolist())) == [(0, 1), (1, 2)]
+
+    def test_overwrite_keeps_row_and_updates_weight(self):
+        g = triangle()
+        g.edges_arrays()
+        g.add_edge(2, 0, 4.0)  # (0, 2) exists -> overwrite in place
+        g.add_edge(1, 0, 1.0)  # overwrite with same weight
+        us, vs, ws = g.edges_arrays()
+        assert sorted(zip(us.tolist(), vs.tolist())) == [(0, 1), (0, 2), (1, 2)]
+        assert g.weight(0, 2) == 4.0

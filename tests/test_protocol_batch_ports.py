@@ -1,0 +1,195 @@
+"""Scalar-vs-batch RunResult equality for the ISSUE 4 protocol ports.
+
+ConvergecastSum and TreeSixColoring complete the batch tier's protocol
+coverage; like the PR 3 suite, equality is exact -- rounds, messages,
+words, outputs and output insertion order -- across random topologies,
+random BFS forests, integer and float payloads.
+"""
+
+from collections import deque
+
+import numpy as np
+import pytest
+
+from repro.distributed.engine import SynchronousNetwork
+from repro.distributed.protocols.aggregate import ConvergecastSum
+from repro.distributed.protocols.coloring import (
+    TreeSixColoring,
+    cv_rounds_needed,
+    tree_coloring_to_mis,
+)
+from repro.exceptions import ProtocolError
+from repro.graphs.graph import Graph
+
+
+def random_graph(n: int, m: int, seed: int) -> Graph:
+    rng = np.random.default_rng(seed)
+    g = Graph(n)
+    for _ in range(m):
+        a, b = int(rng.integers(n)), int(rng.integers(n))
+        if a != b:
+            g.add_edge(a, b, float(rng.uniform(0.1, 1.0)))
+    return g
+
+
+def bfs_forest(g: Graph) -> dict[int, int]:
+    parents: dict[int, int] = {}
+    seen: set[int] = set()
+    for root in g.vertices():
+        if root in seen:
+            continue
+        seen.add(root)
+        parents[root] = root
+        queue = deque([root])
+        while queue:
+            u = queue.popleft()
+            for v in g.neighbors(u):
+                if v not in seen:
+                    seen.add(v)
+                    parents[v] = u
+                    queue.append(v)
+    return parents
+
+
+def assert_equal_runs(net: SynchronousNetwork, protocol) -> None:
+    scalar = net.run(protocol, engine="scalar")
+    batch = net.run(protocol, engine="batch")
+    assert scalar.rounds == batch.rounds
+    assert scalar.messages == batch.messages
+    assert scalar.words == batch.words
+    assert scalar.outputs == batch.outputs
+    assert list(scalar.outputs) == list(batch.outputs)
+
+
+class TestConvergecastBatch:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_forests_int_values(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(3, 50))
+        g = random_graph(n, 3 * n, seed)
+        net = SynchronousNetwork(g, max_rounds=400)
+        parents = bfs_forest(g)
+        values = {u: int(rng.integers(-100, 100)) for u in range(n)}
+        proto = ConvergecastSum(parents, values)
+        assert proto.supports_batch
+        assert_equal_runs(net, proto)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_forests_float_values_bit_exact(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        n = int(rng.integers(4, 40))
+        g = random_graph(n, 2 * n, seed)
+        net = SynchronousNetwork(g, max_rounds=400)
+        parents = bfs_forest(g)
+        values = {u: float(rng.uniform(-1, 1)) for u in range(n)}
+        proto = ConvergecastSum(parents, values)
+        scalar = net.run(proto, engine="scalar")
+        batch = net.run(proto, engine="batch")
+        assert scalar.outputs.keys() == batch.outputs.keys()
+        for u, value in scalar.outputs.items():
+            if isinstance(value, float):
+                # Float fold order matches exactly, so sums are bitwise
+                # identical, not merely close.
+                assert value.hex() == batch.outputs[u].hex()
+            else:
+                assert batch.outputs[u] == value
+        assert (scalar.rounds, scalar.messages, scalar.words) == (
+            batch.rounds, batch.messages, batch.words,
+        )
+
+    def test_huge_int_sums_stay_scalar(self):
+        # float64 cannot hold the aggregate exactly, so the batch tier
+        # must decline and auto dispatch must produce the exact sum.
+        g = Graph(3)
+        g.add_edge(0, 1, 1.0)
+        g.add_edge(0, 2, 1.0)
+        big = 2**53 - 1
+        proto = ConvergecastSum({0: 0, 1: 0, 2: 0}, {u: big for u in range(3)})
+        assert not proto.supports_batch
+        run = SynchronousNetwork(g).run(proto)
+        assert run.outputs[0] == 3 * big
+
+    def test_bool_values_keep_integer_output_on_batch_tier(self):
+        g = Graph(3)
+        g.add_edge(0, 1, 1.0)
+        g.add_edge(0, 2, 1.0)
+        proto = ConvergecastSum({0: 0, 1: 0, 2: 0}, {u: True for u in range(3)})
+        assert proto.supports_batch
+        net = SynchronousNetwork(g)
+        batch = net.run(proto, engine="batch")
+        assert batch.outputs[0] == 3 and isinstance(batch.outputs[0], int)
+        assert batch.outputs == net.run(proto, engine="scalar").outputs
+
+    def test_custom_combiner_stays_scalar(self):
+        g = random_graph(8, 16, 0)
+        proto = ConvergecastSum(
+            bfs_forest(g), {u: u for u in range(8)}, combine=max
+        )
+        assert not proto.supports_batch
+        with pytest.raises(ProtocolError):
+            SynchronousNetwork(g).run(proto, engine="batch")
+        SynchronousNetwork(g).run(proto)  # auto falls back to scalar
+
+    def test_bad_parent_raises_same_error_both_tiers(self):
+        g = Graph(4)
+        g.add_edge(0, 1, 1.0)
+        g.add_edge(2, 3, 1.0)
+        parents = {0: 0, 1: 0, 2: 0, 3: 2}  # 2's parent is not a neighbor
+        messages = []
+        for engine in ("scalar", "batch"):
+            proto = ConvergecastSum(parents, {u: 1 for u in range(4)})
+            with pytest.raises(ProtocolError) as err:
+                SynchronousNetwork(g).run(proto, engine=engine)
+            messages.append(str(err.value))
+        assert messages[0] == messages[1]
+
+
+class TestColoringBatch:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_forests(self, seed):
+        rng = np.random.default_rng(200 + seed)
+        n = int(rng.integers(3, 60))
+        g = random_graph(n, 3 * n, seed)
+        net = SynchronousNetwork(g, max_rounds=400)
+        proto = TreeSixColoring(bfs_forest(g), cv_rounds_needed(n))
+        assert_equal_runs(net, proto)
+
+    def test_zero_rounds(self):
+        g = random_graph(10, 20, 1)
+        assert_equal_runs(
+            SynchronousNetwork(g), TreeSixColoring(bfs_forest(g), 0)
+        )
+
+    def test_batch_coloring_is_proper_and_yields_mis(self):
+        g = random_graph(40, 120, 5)
+        parents = bfs_forest(g)
+        net = SynchronousNetwork(g, max_rounds=400)
+        run = net.run(
+            TreeSixColoring(parents, cv_rounds_needed(40)), engine="batch"
+        )
+        colors = run.outputs
+        for u, p in parents.items():
+            if p != u:
+                assert colors[u] != colors[p]
+        assert all(0 <= c <= 5 for c in colors.values())
+        tree_adj: dict[int, set[int]] = {u: set() for u in g.vertices()}
+        for u, p in parents.items():
+            if p != u:
+                tree_adj[u].add(p)
+                tree_adj[p].add(u)
+        mis = tree_coloring_to_mis(tree_adj, colors)
+        for u in mis:
+            assert not tree_adj[u] & mis
+
+    def test_bad_parent_raises_same_error_both_tiers(self):
+        g = Graph(3)
+        g.add_edge(0, 1, 1.0)
+        parents = {0: 0, 1: 0, 2: 0}  # 2 is isolated; 0 not its neighbor
+        messages = []
+        for engine in ("scalar", "batch"):
+            with pytest.raises(ProtocolError) as err:
+                SynchronousNetwork(g).run(
+                    TreeSixColoring(parents, 3), engine=engine
+                )
+            messages.append(str(err.value))
+        assert messages[0] == messages[1]

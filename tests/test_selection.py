@@ -9,15 +9,11 @@ from repro.exceptions import GraphError
 
 def make_cover(assignment: dict, distances: dict, radius: float = 1.0):
     centers = tuple(sorted(set(assignment.values())))
-    members: dict = {c: [] for c in centers}
-    for v, c in assignment.items():
-        members[c].append(v)
     return ClusterCover(
         radius=radius,
         centers=centers,
         assignment=assignment,
         center_distance=distances,
-        members={c: tuple(sorted(v)) for c, v in members.items()},
     )
 
 

@@ -1,0 +1,79 @@
+"""Tests for the scenario sweep driver and its CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.experiments.sweep import main, run_cell, run_sweep, save_sweep
+
+
+class TestRunCell:
+    def test_cell_row_shape(self):
+        row = run_cell("uniform", 64, 0, epsilon=0.5)
+        assert row["scenario"] == "uniform"
+        assert row["n"] == 64 and row["seed"] == 0
+        assert row["build_s"] > 0 and row["assess_s"] >= 0
+        assert row["spanner_edges"] <= row["input_edges"]
+        assert row["passed"] and row["stretch"] <= 1.5 * (1 + 1e-9)
+
+
+class TestRunSweep:
+    def test_grid_order_and_summary(self):
+        report = run_sweep(
+            ["ring", "uniform"], [48, 64], [0], epsilon=0.5, jobs=1
+        )
+        assert report["num_cells"] == 4
+        keys = [(r["scenario"], r["n"], r["seed"]) for r in report["cells"]]
+        assert keys == [
+            ("ring", 48, 0), ("ring", 64, 0),
+            ("uniform", 48, 0), ("uniform", 64, 0),
+        ]
+        assert set(report["summary"]) == {"ring", "uniform"}
+        assert report["summary"]["ring"]["cells"] == 2
+        assert report["passed"] == all(r["passed"] for r in report["cells"])
+
+    def test_pool_matches_serial(self):
+        serial = run_sweep(["uniform"], [48], [0, 1], jobs=1)
+        pooled = run_sweep(["uniform"], [48], [0, 1], jobs=2)
+        strip = lambda rows: [  # noqa: E731 - wall clocks differ
+            {k: v for k, v in r.items() if not k.endswith("_s")}
+            for r in rows
+        ]
+        assert strip(serial["cells"]) == strip(pooled["cells"])
+
+
+class TestSweepCli:
+    def test_main_writes_single_artifact(self, tmp_path, capsys):
+        out = tmp_path / "sweep.json"
+        code = main(
+            [
+                "--scenarios", "uniform",
+                "--sizes", "48",
+                "--seeds", "0",
+                "--output", str(out),
+            ]
+        )
+        assert code == 0
+        report = json.loads(out.read_text())
+        assert report["num_cells"] == 1
+        assert report["cells"][0]["scenario"] == "uniform"
+        assert "build_s" in capsys.readouterr().out
+
+    def test_unknown_scenario_rejected(self, capsys):
+        assert main(["--scenarios", "nonsense", "--output", ""]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_repro_sweep_subcommand(self, tmp_path):
+        out = tmp_path / "sweep.json"
+        code = cli_main(
+            [
+                "sweep",
+                "--scenarios", "ring",
+                "--sizes", "48",
+                "--seeds", "0",
+                "--output", str(out),
+            ]
+        )
+        assert code == 0
+        assert json.loads(out.read_text())["num_cells"] == 1

@@ -9,7 +9,9 @@ without writing Python:
 * ``experiments`` -- run the E/F/A/X experiment suite (worker pool +
   JSON artifacts; thin alias for :mod:`repro.experiments.run_all`);
 * ``sweep`` -- fan a (scenario x n x seed) grid across a worker pool and
-  aggregate every cell into one ``results/sweep.json`` report;
+  aggregate every cell into one ``results/sweep.json`` report; with
+  ``--experiments E1,E4`` the registered experiment bodies run over the
+  grid instead, and ``--diff old.json`` reports run-to-run metric deltas;
 * ``scenarios`` -- list the deployment-pattern registry.
 """
 
@@ -129,11 +131,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         "--scenarios", args.scenarios,
         "--sizes", args.sizes,
         "--seeds", args.seeds,
+        "--experiments", args.experiments,
         "--epsilon", str(args.epsilon),
         "--alpha", str(args.alpha),
         "--jobs", str(args.jobs),
         "--output", args.output,
     ]
+    if args.diff:
+        forwarded.extend(["--diff", args.diff])
     return sweep_main(forwarded)
 
 
@@ -207,6 +212,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument("--sizes", default="128,256")
     sweep.add_argument("--seeds", default="0")
+    sweep.add_argument(
+        "--experiments", default="",
+        help="experiment ids (e.g. E1,E4) to fan over the grid instead "
+             "of build cells",
+    )
+    sweep.add_argument(
+        "--diff", default="",
+        help="previous sweep.json to report metric deltas against",
+    )
     sweep.add_argument("--epsilon", type=float, default=0.5)
     sweep.add_argument("--alpha", type=float, default=1.0)
     sweep.add_argument("--jobs", type=int, default=1)

@@ -3,7 +3,18 @@
 from .bins import EdgeBinning
 from .cluster_graph import ClusterGraph, build_cluster_graph
 from .cover import ClusterCover, build_cluster_cover, cover_from_centers
-from .covered import DistanceOracle, is_covered, split_covered
+from .covered import (
+    DistanceOracle,
+    is_covered,
+    split_covered,
+    split_covered_reference,
+)
+from .oracle import (
+    BoundMethodOracle,
+    ScalarOracleAdapter,
+    as_oracle,
+    has_batch_pairs,
+)
 from .leapfrog import (
     LeapfrogReport,
     check_subset,
@@ -36,8 +47,13 @@ __all__ = [
     "ClusterGraph",
     "build_cluster_graph",
     "DistanceOracle",
+    "ScalarOracleAdapter",
+    "BoundMethodOracle",
+    "as_oracle",
+    "has_batch_pairs",
     "is_covered",
     "split_covered",
+    "split_covered_reference",
     "QuerySelection",
     "select_query_edges",
     "GreedyStats",

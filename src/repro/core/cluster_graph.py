@@ -30,6 +30,8 @@ from ..graphs.paths import (
     dijkstra,
     multi_source_ball_lists,
     multi_source_distances,
+    pair_distance_matrix,
+    pair_distances,
     prefer_batched_sources,
     source_block_size,
 )
@@ -99,6 +101,44 @@ class ClusterGraph:
         and query answering.
         """
         return multi_source_distances(self.graph, sources, cutoff=cutoff)
+
+    def distance_pairs(
+        self,
+        us: np.ndarray,
+        vs: np.ndarray,
+        *,
+        cutoff: float | None = None,
+    ) -> np.ndarray:
+        """Batched ``sp_H(us[i], vs[i])`` for aligned endpoint arrays.
+
+        ``H``'s side of the batched distance-oracle contract (the
+        graph-metric ``pairs`` query): one call answers a whole phase's
+        endpoint pairs through :func:`repro.graphs.paths.pair_distances`,
+        which picks the dense blocked rows or the sparse frontier-sharing
+        search per call.  Entries beyond ``cutoff`` (or unreachable) are
+        ``inf``.  Query answering routes through this method;
+        redundancy detection uses the cross-product form
+        :meth:`distance_matrix`.
+        """
+        return pair_distances(self.graph, us, vs, cutoff=cutoff)
+
+    def distance_matrix(
+        self,
+        sources: np.ndarray,
+        targets: np.ndarray,
+        *,
+        cutoff: float | None = None,
+    ) -> np.ndarray:
+        """``sp_H`` over the ``sources x targets`` cross product.
+
+        The structured companion of :meth:`distance_pairs` (one batched
+        oracle call per phase instead of ``k^2`` aligned pairs), backing
+        the redundancy endpoint matrix.  See
+        :func:`repro.graphs.paths.pair_distance_matrix`.
+        """
+        return pair_distance_matrix(
+            self.graph, sources, targets, cutoff=cutoff
+        )
 
     def inter_center_degree(self) -> int:
         """Maximum number of inter-cluster edges at any center (Lemma 6).
@@ -288,11 +328,11 @@ def answer_spanner_queries(
     A query edge ``(x, y, length)`` is added exactly when ``H`` has no
     path of length ``<= t * length`` between its endpoints.  All queries
     of a phase are answered against the same frozen ``H``, so they batch
-    into blocked multi-source Dijkstra rows (grouped by source, one
-    shared cutoff of ``t * max length``); tiny-ball regimes fall back to
-    the per-query cutoff dict Dijkstra (the semantic reference).  Both
-    paths compare the exact same distance against the exact same
-    threshold, so verdicts are identical by construction.
+    into one :meth:`ClusterGraph.distance_pairs` call (one shared cutoff
+    of ``t * max length``): blocked multi-source Dijkstra rows when the
+    cutoff balls are wide, the sparse frontier-sharing search when they
+    are tiny.  Both branches compare the exact same distance against the
+    exact same threshold, so verdicts are identical by construction.
     """
     if not query_edges:
         return []
@@ -301,32 +341,8 @@ def answer_spanner_queries(
     thresholds = t * np.asarray(
         [length for _, _, length in query_edges], dtype=np.float64
     )
-    h = cluster_graph.graph
     cutoff = float(thresholds.max())
-    sources = np.unique(xs)
-    if prefer_batched_sources(h, sources, cutoff):
-        dist = np.empty(xs.size, dtype=np.float64)
-        block = source_block_size(h)
-        for lo in range(0, sources.size, block):
-            chunk = sources[lo : lo + block]
-            rows = multi_source_distances(h, chunk, cutoff=cutoff)
-            sel = (xs >= chunk[0]) & (xs <= chunk[-1])
-            dist[sel] = rows[np.searchsorted(chunk, xs[sel]), ys[sel]]
-        return (dist > thresholds).tolist()
-    # Tiny balls: sparse frontier-sharing search, then key lookups.
-    starts, ball_v, ball_d = multi_source_ball_lists(h, sources, cutoff)
-    n = np.int64(h.num_vertices)
-    keys = (
-        np.repeat(np.arange(sources.size, dtype=np.int64), np.diff(starts))
-        * n
-        + ball_v
-    )
-    want = np.searchsorted(sources, xs) * n + ys
-    pos = np.searchsorted(keys, want)
-    in_range = pos < keys.size
-    safe = np.where(in_range, pos, 0)
-    found = in_range & (keys[safe] == want)
-    dist = np.where(found, ball_d[safe], np.inf)
+    dist = cluster_graph.distance_pairs(xs, ys, cutoff=cutoff)
     return (dist > thresholds).tolist()
 
 

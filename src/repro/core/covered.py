@@ -16,11 +16,15 @@ Lemma 3 then promises that ``{u, z}`` followed by a t-spanner path from
 never need to be queried.  The angle is computed purely from pairwise
 distances (law of cosines) -- the algorithm never touches coordinates,
 honouring Section 1.1.
+
+Distances come from a :class:`repro.core.oracle.DistanceOracle`; any
+oracle exposing a vectorized ``pairs`` method (PointSets, l_p metrics,
+energy costs, fault-masked oracles ...) rides the flattened CSR witness
+scan of :func:`split_covered`, while bare scalar callables keep the
+per-edge reference :func:`split_covered_reference`.
 """
 
 from __future__ import annotations
-
-from typing import Callable
 
 import numpy as np
 
@@ -28,11 +32,14 @@ from ..arrayops import run_expand
 from ..exceptions import GraphError
 from ..geometry.angles import angle_from_sides
 from ..graphs.graph import Graph
+from .oracle import DistanceOracle, as_oracle, has_batch_pairs
 
-__all__ = ["DistanceOracle", "is_covered", "split_covered"]
-
-#: Callable giving the Euclidean distance between two vertex ids.
-DistanceOracle = Callable[[int, int], float]
+__all__ = [
+    "DistanceOracle",
+    "is_covered",
+    "split_covered",
+    "split_covered_reference",
+]
 
 
 def _has_witness(
@@ -80,7 +87,7 @@ def is_covered(
     spanner:
         The partial spanner ``G'_{i-1}`` whose edges act as witnesses.
     dist:
-        Euclidean distance oracle over vertex ids.
+        Distance oracle over vertex ids (scalar calls only).
     alpha:
         Quasi-UBG parameter (witness leg must satisfy ``|vz| <= alpha``).
     theta:
@@ -94,21 +101,28 @@ def is_covered(
     )
 
 
-def _batch_distances(dist: DistanceOracle):
-    """The aligned-array distance method behind ``dist``, if any.
+def split_covered_reference(
+    edges: list[tuple[int, int, float]],
+    spanner: Graph,
+    dist: DistanceOracle,
+    *,
+    alpha: float,
+    theta: float,
+) -> tuple[list[tuple[int, int, float]], list[tuple[int, int, float]]]:
+    """Scalar reference partition: one :func:`is_covered` call per edge.
 
-    When the oracle is a bound :meth:`repro.geometry.PointSet.distance`,
-    its owner's ``distances_between`` computes the same einsum reduction
-    over whole index arrays (bit-for-bit equal per pair), unlocking the
-    vectorized witness scan.  Custom oracles fall back to the scalar
-    per-edge reference.
+    The semantic anchor the flattened witness scan of
+    :func:`split_covered` is pinned against, and the path taken for
+    oracles without a vectorized ``pairs`` method.
     """
-    owner = getattr(dist, "__self__", None)
-    if owner is None or getattr(dist, "__func__", None) is not getattr(
-        type(owner), "distance", None
-    ):
-        return None
-    return getattr(owner, "distances_between", None)
+    candidates: list[tuple[int, int, float]] = []
+    covered: list[tuple[int, int, float]] = []
+    for u, v, w in edges:
+        if is_covered(u, v, w, spanner, dist, alpha=alpha, theta=theta):
+            covered.append((u, v, w))
+        else:
+            candidates.append((u, v, w))
+    return candidates, covered
 
 
 def split_covered(
@@ -118,28 +132,35 @@ def split_covered(
     *,
     alpha: float,
     theta: float,
+    kernel: str = "auto",
 ) -> tuple[list[tuple[int, int, float]], list[tuple[int, int, float]]]:
     """Partition bin edges into (candidates, covered).
 
     Candidates are the edges that survive the covered-edge filter and
-    move on to per-cluster-pair query selection.  With a
-    :class:`~repro.geometry.PointSet`-backed oracle the witness scan
-    runs as one flattened array pass (witnesses expanded through the
-    spanner's CSR rows, both orientations at once); other oracles use
-    the per-edge scalar reference :func:`is_covered`.
+    move on to per-cluster-pair query selection.  With any oracle whose
+    ``pairs`` method is vectorized (see
+    :func:`repro.core.oracle.has_batch_pairs`) the witness scan runs as
+    one flattened array pass -- witnesses expanded through the spanner's
+    CSR rows, both orientations at once, distances measured by one
+    ``pairs`` call per orientation; bare scalar callables use the
+    per-edge reference :func:`split_covered_reference`.
+
+    ``kernel`` selects the path explicitly (``"auto"`` picks by oracle
+    capability, ``"scalar"`` forces the reference, ``"batch"`` forces
+    the array pass -- valid for any oracle, since the adapter's
+    ``pairs`` evaluates the scalar callable per pair).  Both kernels
+    produce identical partitions for any oracle; the equivalence suite
+    pins this for every shipped oracle.
     """
+    if kernel not in ("auto", "scalar", "batch"):
+        raise GraphError(f"kernel must be auto|scalar|batch, got {kernel!r}")
     if not edges:
         return [], []
-    batch = _batch_distances(dist)
-    if batch is None:
-        candidates: list[tuple[int, int, float]] = []
-        covered: list[tuple[int, int, float]] = []
-        for u, v, w in edges:
-            if is_covered(u, v, w, spanner, dist, alpha=alpha, theta=theta):
-                covered.append((u, v, w))
-            else:
-                candidates.append((u, v, w))
-        return candidates, covered
+    oracle = as_oracle(dist)
+    if kernel == "scalar" or (kernel == "auto" and not has_batch_pairs(oracle)):
+        return split_covered_reference(
+            edges, spanner, oracle, alpha=alpha, theta=theta
+        )
 
     ws = np.asarray([w for _, _, w in edges], dtype=np.float64)
     bad = ws <= 0.0
@@ -160,9 +181,9 @@ def split_covered(
             z = indices[run_expand(indptr[a], deg)]
             w_rep = ws[edge_of]
             ok = z != b[edge_of]
-            az = batch(a[edge_of], z)
+            az = oracle.pairs(a[edge_of], z)
             ok &= (az <= w_rep) & (az > 0.0)  # Lemma 3: |uz| <= |uv|
-            bz = batch(b[edge_of], z)
+            bz = oracle.pairs(b[edge_of], z)
             ok &= bz <= alpha  # {v, z} must be a network edge
             # angle(v, u, z) <= theta via the law of cosines (the same
             # expression angle_from_sides evaluates, vectorized).

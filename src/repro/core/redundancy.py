@@ -27,11 +27,6 @@ import numpy as np
 
 from ..exceptions import GraphError
 from ..graphs.graph import Graph
-from ..graphs.paths import (
-    multi_source_ball_lists,
-    prefer_batched_sources,
-    source_block_size,
-)
 from .cluster_graph import ClusterGraph
 
 __all__ = [
@@ -113,32 +108,14 @@ def _endpoint_distance_matrix(
 ) -> np.ndarray:
     """``D[i, j] = sp_H(endpoints[i], endpoints[j])`` within ``cutoff``.
 
-    Batched :meth:`ClusterGraph.distance_rows` blocks when the cutoff
-    balls are wide, per-endpoint dict Dijkstra when they are tiny; both
-    fill identical floats (``inf`` beyond the cutoff).
+    One :meth:`ClusterGraph.distance_matrix` call over the endpoint
+    cross product -- the graph-metric batched oracle query, which picks
+    dense blocked rows when the cutoff balls are wide and the sparse
+    frontier-sharing scatter when they are tiny.  Entries beyond
+    ``cutoff`` hold ``inf``.
     """
-    h = cluster_graph.graph
-    k = len(endpoints)
     ep_arr = np.asarray(endpoints, dtype=np.int64)
-    if prefer_batched_sources(h, endpoints, cutoff):
-        out = np.empty((k, k), dtype=np.float64)
-        block = source_block_size(h)
-        for lo in range(0, k, block):
-            rows = cluster_graph.distance_rows(
-                ep_arr[lo : lo + block], cutoff=cutoff
-            )
-            out[lo : lo + rows.shape[0]] = rows[:, ep_arr]
-        return out
-    # Tiny balls: sparse frontier-sharing search, scattered into (k, k).
-    out = np.full((k, k), np.inf, dtype=np.float64)
-    starts, ball_v, ball_d = multi_source_ball_lists(h, ep_arr, cutoff)
-    pos_of = np.full(h.num_vertices, -1, dtype=np.int64)
-    pos_of[ep_arr] = np.arange(k, dtype=np.int64)
-    src = np.repeat(np.arange(k, dtype=np.int64), np.diff(starts))
-    tgt = pos_of[ball_v]
-    hit = tgt >= 0
-    out[src[hit], tgt[hit]] = ball_d[hit]
-    return out
+    return cluster_graph.distance_matrix(ep_arr, ep_arr, cutoff=cutoff)
 
 
 def find_redundant_pairs(

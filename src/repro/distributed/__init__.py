@@ -18,7 +18,13 @@ from .local_views import (
     gather_local_view,
     local_component_of_short_edges,
 )
-from .mis import MISRun, run_luby_mis, verify_mis
+from .mis import (
+    MISRun,
+    run_luby_mis,
+    run_luby_mis_arrays,
+    verify_mis,
+    verify_mis_arrays,
+)
 from .protocols import (
     BFSTree,
     ConvergecastSum,
@@ -49,6 +55,8 @@ __all__ = [
     "LeaderElection",
     "MISRun",
     "run_luby_mis",
+    "run_luby_mis_arrays",
+    "verify_mis_arrays",
     "verify_mis",
     "DistributedRelaxedGreedy",
     "DistributedSpannerResult",

@@ -58,11 +58,16 @@ from ..core.selection import select_query_edges
 from ..core.short_edges import process_short_edges
 from ..exceptions import GraphError
 from ..graphs.graph import Graph
-from ..graphs.paths import multi_source_distances, source_block_size
+from ..graphs.paths import (
+    multi_source_ball_lists,
+    multi_source_distances,
+    prefer_batched_sources,
+    source_block_size,
+)
 from ..params import SpannerParams
 from .engine import SynchronousNetwork
 from .ledger import RoundLedger
-from .mis import run_luby_mis
+from .mis import run_luby_mis, run_luby_mis_arrays
 from .protocols.flooding import KHopGather
 
 __all__ = ["DistributedSpannerResult", "DistributedRelaxedGreedy"]
@@ -235,43 +240,58 @@ class DistributedRelaxedGreedy:
     # ------------------------------------------------------------------
     def _proximity_graph(
         self, spanner: Graph, radius: float
-    ) -> dict[int, set[int]]:
+    ) -> tuple[np.ndarray, np.ndarray]:
         """The cover proximity graph ``J``: ``{x, y}`` iff
-        ``sp_{G'}(x, y) <= radius`` (Section 3.2.1).
+        ``sp_{G'}(x, y) <= radius`` (Section 3.2.1), as CSR arrays.
 
-        Computed as blocked multi-source cutoff Dijkstras over the
-        spanner's CSR snapshot (one C-level batch per block) and
-        symmetrized, so building ``J`` stays O(n * ball) array work
-        instead of n Python-heap searches.
+        Computed over the spanner's CSR snapshot -- the frontier-sharing
+        sparse search from all ``n`` sources at once in the tiny-radius
+        phases (total work O(J mass), no dense rows), blocked C-level
+        multi-source cutoff Dijkstras once balls are wide (see
+        :func:`prefer_batched_sources`) -- then symmetrized and
+        deduplicated into one sorted ``(indptr, indices)`` pair over
+        nodes ``0..n-1``: the form the engine's batch tier and
+        :func:`repro.distributed.mis.run_luby_mis_arrays` consume
+        directly.  ``J`` stays arrays end-to-end: no per-node dict or
+        set is ever materialized on this path.
         """
         n = spanner.num_vertices
-        adjacency: dict[int, set[int]] = {u: set() for u in spanner.vertices()}
         if n == 0 or spanner.num_edges == 0 or radius <= 0.0:
-            return adjacency
-        block = source_block_size(spanner)
-        pair_u: list[np.ndarray] = []
-        pair_v: list[np.ndarray] = []
-        for lo in range(0, n, block):
-            src = np.arange(lo, min(lo + block, n), dtype=np.int64)
-            rows = multi_source_distances(spanner, src, cutoff=radius)
-            ui, vi = np.nonzero(rows <= radius)
-            keep = src[ui] != vi
-            pair_u.append(src[ui[keep]])
-            pair_v.append(vi[keep])
-        us = np.concatenate(pair_u)
-        vs = np.concatenate(pair_v)
-        # Symmetrize: floating-point Dijkstra can in principle disagree
-        # across directions, and J must be an undirected adjacency.
-        all_u = np.concatenate([us, vs])
-        all_v = np.concatenate([vs, us])
-        order = np.lexsort((all_v, all_u))
-        all_u, all_v = all_u[order], all_v[order]
-        starts = np.searchsorted(all_u, np.arange(n + 1, dtype=np.int64))
-        for u in range(n):
-            row = all_v[starts[u] : starts[u + 1]]
-            if row.size:
-                adjacency[u] = set(row.tolist())
-        return adjacency
+            return (
+                np.zeros(n + 1, dtype=np.int64),
+                np.empty(0, dtype=np.int64),
+            )
+        all_nodes = np.arange(n, dtype=np.int64)
+        if prefer_batched_sources(spanner, all_nodes, radius):
+            block = source_block_size(spanner)
+            pair_u: list[np.ndarray] = []
+            pair_v: list[np.ndarray] = []
+            for lo in range(0, n, block):
+                src = all_nodes[lo : min(lo + block, n)]
+                rows = multi_source_distances(spanner, src, cutoff=radius)
+                ui, vi = np.nonzero(rows <= radius)
+                keep = src[ui] != vi
+                pair_u.append(src[ui[keep]])
+                pair_v.append(vi[keep])
+            us = np.concatenate(pair_u)
+            vs = np.concatenate(pair_v)
+        else:
+            starts, ball_v, _ = multi_source_ball_lists(
+                spanner, all_nodes, radius
+            )
+            src = np.repeat(all_nodes, np.diff(starts))
+            keep = src != ball_v
+            us, vs = src[keep], ball_v[keep]
+        # Symmetrize (floating-point Dijkstra can in principle disagree
+        # across directions; J must be undirected) and deduplicate: one
+        # unique pass over (u, v) keys yields sorted loop-free rows.
+        keys = np.unique(
+            np.concatenate([us * np.int64(n) + vs, vs * np.int64(n) + us])
+        )
+        indptr = np.searchsorted(
+            keys, np.arange(n + 1, dtype=np.int64) * np.int64(n)
+        )
+        return indptr, keys % np.int64(n)
 
     def _phase(
         self,
@@ -295,7 +315,7 @@ class DistributedRelaxedGreedy:
         k_query = params.query_hop_bound()
 
         # ---- Step (i): cluster cover via MIS of J (Theorem 16) -------
-        proximity = self._proximity_graph(spanner, radius)
+        prox_indptr, prox_indices = self._proximity_graph(spanner, radius)
         if self._measure_gather and graph.num_edges > 0:
             facts = {
                 u: frozenset(
@@ -324,8 +344,8 @@ class DistributedRelaxedGreedy:
                 k_cluster,
                 detail=f"G' within {k_cluster} hops",
             )
-        mis_run = run_luby_mis(
-            proximity, seed=self._seed * 1_000_003 + index
+        mis_run = run_luby_mis_arrays(
+            prox_indptr, prox_indices, seed=self._seed * 1_000_003 + index
         )
         result.mis_invocations += 1
         ledger.charge(

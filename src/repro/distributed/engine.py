@@ -4,11 +4,13 @@ Time proceeds in rounds.  In each round every node reads the messages its
 neighbors sent in the previous round, performs arbitrary local
 computation, and emits at most one message per neighbor.  The engine:
 
-* runs a :class:`Protocol` over a communication topology -- either a
-  weighted :class:`repro.graphs.Graph` (the radio network itself) or a
-  plain adjacency mapping (a *derived* virtual graph such as the conflict
-  graph ``J`` of Sections 3.2.1/3.2.5, whose "edges" are short multi-hop
-  channels in the real network);
+* runs a :class:`Protocol` over a communication topology -- a weighted
+  :class:`repro.graphs.Graph` (the radio network itself), a plain
+  adjacency mapping, or a bare ``(indptr, indices)`` CSR array pair (a
+  *derived* virtual graph such as the proximity graph of Section 3.2.1
+  or the conflict graph ``J`` of Section 3.2.5, whose "edges" are short
+  multi-hop channels in the real network; the CSR form lets the batch
+  tier run on the arrays directly, dict-free);
 * counts rounds, messages, and payload words;
 * refuses to run past ``max_rounds`` (a protocol that fails to halt is a
   bug, not a workload).
@@ -288,31 +290,46 @@ class SynchronousNetwork:
     Parameters
     ----------
     topology:
-        Either a :class:`Graph` or an adjacency mapping
-        ``node -> iterable of neighbors``.  Nodes without entries are not
-        part of the computation.  Self-loops are rejected for both
-        topology kinds.
+        One of three forms:
+
+        * a :class:`Graph` (the radio network itself);
+        * an adjacency mapping ``node -> iterable of neighbors``
+          (a derived virtual graph; symmetrized automatically);
+        * a CSR array pair ``(indptr, indices)`` over nodes ``0..n-1``
+          -- the dict-free form the distributed spanner's proximity
+          graph arrives in.  The arrays must describe a symmetric
+          adjacency with ascending, loop-free rows; the batch tier runs
+          on them directly (no per-node dicts are ever built), and the
+          scalar reference tier materializes neighbor tuples lazily on
+          first use.
+
+        Nodes without entries are not part of the computation.
+        Self-loops are rejected for every topology kind.
     max_rounds:
         Hard budget; exceeding it raises :class:`SimulationLimitError`.
     """
 
     def __init__(
         self,
-        topology: Graph | Mapping[int, Iterable[int]],
+        topology: Graph | Mapping[int, Iterable[int]] | tuple,
         *,
         max_rounds: int = 10_000,
     ) -> None:
         if max_rounds < 1:
             raise ProtocolError(f"max_rounds must be >= 1, got {max_rounds}")
         self._max_rounds = max_rounds
-        self._adj: dict[int, tuple[int, ...]] = {}
+        self._adj: dict[int, tuple[int, ...]] | None = None
         self._graph = topology if isinstance(topology, Graph) else None
+        self._csr_topology: tuple[np.ndarray, np.ndarray] | None = None
         if isinstance(topology, Graph):
+            self._adj = {}
             for u in topology.vertices():
                 nbrs = tuple(sorted(topology.neighbors(u)))
                 if u in nbrs:
                     raise ProtocolError(f"self-loop at {u} in topology")
                 self._adj[u] = nbrs
+        elif isinstance(topology, tuple):
+            self._csr_topology = self._check_csr_topology(*topology)
         else:
             sym: dict[int, set[int]] = {u: set() for u in topology}
             for u, nbrs in topology.items():
@@ -327,10 +344,54 @@ class SynchronousNetwork:
         # as of construction even if a Graph is mutated afterwards.
         self._topology_arrays()
 
+    @staticmethod
+    def _check_csr_topology(
+        indptr: np.ndarray, indices: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Validate a ``(indptr, indices)`` topology (see ``__init__``)."""
+        indptr = np.asarray(indptr, dtype=np.int64)
+        indices = np.asarray(indices, dtype=np.int64)
+        if indptr.ndim != 1 or indptr.size < 1 or indices.ndim != 1:
+            raise ProtocolError("CSR topology arrays must be 1-D, indptr non-empty")
+        if indptr[0] != 0 or indptr[-1] != indices.size:
+            raise ProtocolError("CSR indptr must span [0, len(indices)]")
+        if (np.diff(indptr) < 0).any():
+            raise ProtocolError("CSR indptr must be non-decreasing")
+        n = indptr.size - 1
+        if indices.size:
+            if indices.min() < 0 or indices.max() >= n:
+                raise ProtocolError(f"CSR neighbor id out of range [0, {n})")
+            owners = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
+            if (indices == owners).any():
+                u = int(owners[int(np.argmax(indices == owners))])
+                raise ProtocolError(f"self-loop at {u} in topology")
+            keys = owners * n + indices
+            if (np.diff(keys) <= 0).any():
+                raise ProtocolError(
+                    "CSR rows must be strictly ascending (sorted, no "
+                    "duplicate neighbors)"
+                )
+        return indptr, indices
+
     @property
     def nodes(self) -> list[int]:
         """Participating node ids, sorted."""
+        if self._csr_topology is not None:
+            return list(range(self._csr_topology[0].size - 1))
         return sorted(self._adj)
+
+    def _scalar_adj(self) -> dict[int, tuple[int, ...]]:
+        """Neighbor tuples for the scalar tier (built lazily for CSR
+        topologies, which the batch tier never needs in dict form)."""
+        if self._adj is None:
+            indptr, indices = self._csr_topology
+            self._adj = {
+                u: tuple(
+                    int(x) for x in indices[indptr[u] : indptr[u + 1]]
+                )
+                for u in range(indptr.size - 1)
+            }
+        return self._adj
 
     # ------------------------------------------------------------------
     # Batch topology arrays
@@ -348,6 +409,9 @@ class SynchronousNetwork:
                 labels = np.arange(self._graph.num_vertices, dtype=np.int64)
                 indptr = mat.indptr.astype(np.int64)
                 indices = mat.indices.astype(np.int64)
+            elif self._csr_topology is not None:
+                indptr, indices = self._csr_topology
+                labels = np.arange(indptr.size - 1, dtype=np.int64)
             else:
                 labels = np.asarray(self.nodes, dtype=np.int64)
                 index_of = {int(u): i for i, u in enumerate(labels)}
@@ -367,7 +431,17 @@ class SynchronousNetwork:
             )
             key_fwd = sources * n + indices
             key_rev = indices * n + sources
-            rev = np.searchsorted(key_fwd, key_rev)
+            rev = np.minimum(
+                np.searchsorted(key_fwd, key_rev), max(key_fwd.size - 1, 0)
+            )
+            if self._csr_topology is not None and key_fwd.size:
+                # Graph/mapping topologies are symmetric by construction;
+                # caller-supplied CSR arrays must prove it.
+                if not np.array_equal(key_fwd[rev], key_rev):
+                    raise ProtocolError(
+                        "CSR topology is not symmetric: some directed "
+                        "slot has no reverse edge"
+                    )
             self._batch_ctx_arrays = (labels, indptr, indices, rev)
         return self._batch_ctx_arrays
 
@@ -411,10 +485,11 @@ class SynchronousNetwork:
     # ------------------------------------------------------------------
     def _run_scalar(self, protocol: Protocol) -> RunResult:
         """The per-node reference tier."""
+        adj = self._scalar_adj()
         contexts = {
-            u: NodeContext(node=u, neighbors=self._adj[u]) for u in self._adj
+            u: NodeContext(node=u, neighbors=adj[u]) for u in adj
         }
-        pending: dict[int, dict[int, Any]] = {u: {} for u in self._adj}
+        pending: dict[int, dict[int, Any]] = {u: {} for u in adj}
         messages = 0
         words = 0
         rounds = 0
@@ -423,7 +498,7 @@ class SynchronousNetwork:
             nonlocal messages, words
             if not outbox:
                 return 0
-            allowed = set(self._adj[sender])
+            allowed = set(adj[sender])
             count = 0
             for receiver, payload in outbox.items():
                 if receiver not in allowed:
@@ -451,7 +526,7 @@ class SynchronousNetwork:
                     "nodes still active)"
                 )
             inboxes = pending
-            pending = {u: {} for u in self._adj}
+            pending = {u: {} for u in adj}
             for u in self.nodes:
                 ctx = contexts[u]
                 if ctx.halted:

@@ -43,12 +43,23 @@ def _build(workload, params, **flags):
 
 
 @register("A")
-def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
-    """Execute the ablation suite."""
-    n = 96 if quick else 192
+def run(
+    quick: bool = False,
+    seed: int = 0,
+    *,
+    scenarios: tuple[str, ...] | None = None,
+    sizes: tuple[int, ...] | None = None,
+) -> ExperimentResult:
+    """Execute the ablation suite.
+
+    ``scenarios``/``sizes`` override the workload cell (first entry of
+    each is used) -- the sweep driver passes one cell at a time.
+    """
+    n = sizes[0] if sizes else (96 if quick else 192)
+    scenario = scenarios[0] if scenarios else "uniform"
     eps = 0.5
     base_params = SpannerParams.from_epsilon(eps)
-    workload = make_workload("uniform", n, seed=seed + 71)
+    workload = make_workload(scenario, n, seed=seed + 71)
     result = ExperimentResult(
         experiment="A",
         claim=(

@@ -19,10 +19,20 @@ _EPSILONS = (0.25, 0.5, 1.0, 2.0)
 
 
 @register("E1")
-def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
-    """Execute E1.  ``quick`` shrinks sizes for bench use."""
-    sizes = (96,) if quick else (128, 256)
-    workloads = (
+def run(
+    quick: bool = False,
+    seed: int = 0,
+    *,
+    scenarios: tuple[str, ...] | None = None,
+    sizes: tuple[int, ...] | None = None,
+) -> ExperimentResult:
+    """Execute E1.  ``quick`` shrinks sizes for bench use.
+
+    ``scenarios``/``sizes`` override the built-in grid -- the sweep
+    driver passes one (scenario, n) cell at a time.
+    """
+    sizes = tuple(sizes) if sizes else ((96,) if quick else (128, 256))
+    workloads = tuple(scenarios) if scenarios else (
         ("uniform",)
         if quick
         else ("uniform", "clustered", "grid-holes", "ring")

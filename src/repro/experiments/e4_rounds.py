@@ -40,9 +40,23 @@ def log_star(n: float) -> int:
 
 
 @register("E4")
-def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
-    """Execute E4."""
-    sizes = (48, 96) if quick else (96, 384, 1000, 5000, 10000)
+def run(
+    quick: bool = False,
+    seed: int = 0,
+    *,
+    scenarios: tuple[str, ...] | None = None,
+    sizes: tuple[int, ...] | None = None,
+) -> ExperimentResult:
+    """Execute E4.
+
+    ``scenarios``/``sizes`` override the built-in sweep (one workload
+    pattern and the node counts) -- the sweep driver passes one cell at
+    a time.
+    """
+    sizes = tuple(sizes) if sizes else (
+        (48, 96) if quick else (96, 384, 1000, 5000, 10000)
+    )
+    scenario = scenarios[0] if scenarios else "uniform"
     eps = 0.5
     params = SpannerParams.from_epsilon(eps)
     result = ExperimentResult(
@@ -59,7 +73,7 @@ def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
     )
     per_phase_gathers = []
     for n in sizes:
-        workload = make_workload("uniform", n, seed=seed + n)
+        workload = make_workload(scenario, n, seed=seed + n)
         row = {"n": n}
         with stopwatch(row):
             build = DistributedRelaxedGreedy(params, seed=seed).build(

@@ -21,12 +21,23 @@ __all__ = ["run"]
 
 
 @register("E9")
-def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
-    """Execute E9."""
-    n = 96 if quick else 192
+def run(
+    quick: bool = False,
+    seed: int = 0,
+    *,
+    scenarios: tuple[str, ...] | None = None,
+    sizes: tuple[int, ...] | None = None,
+) -> ExperimentResult:
+    """Execute E9.
+
+    ``scenarios``/``sizes`` override the workload cell (first entry of
+    each is used) -- the sweep driver passes one cell at a time.
+    """
+    n = sizes[0] if sizes else (96 if quick else 192)
+    scenario = scenarios[0] if scenarios else "uniform"
     gammas = (2.0,) if quick else (2.0, 3.0, 4.0)
     eps = 0.5
-    workload = make_workload("uniform", n, seed=seed + 41)
+    workload = make_workload(scenario, n, seed=seed + 41)
     result = ExperimentResult(
         experiment="E9",
         claim=(

@@ -80,12 +80,23 @@ def _phase_snapshot(
 
 
 @register("F")
-def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
-    """Execute the F-series lemma validations."""
-    n = 96 if quick else 160
+def run(
+    quick: bool = False,
+    seed: int = 0,
+    *,
+    scenarios: tuple[str, ...] | None = None,
+    sizes: tuple[int, ...] | None = None,
+) -> ExperimentResult:
+    """Execute the F-series lemma validations.
+
+    ``scenarios``/``sizes`` override the workload cell (first entry of
+    each is used) -- the sweep driver passes one cell at a time.
+    """
+    n = sizes[0] if sizes else (96 if quick else 160)
+    scenario = scenarios[0] if scenarios else "uniform"
     eps = 0.5
     params = SpannerParams.from_epsilon(eps)
-    workload = make_workload("uniform", n, seed=seed + 61)
+    workload = make_workload(scenario, n, seed=seed + 61)
     build = RelaxedGreedySpanner(params).build(
         workload.graph, workload.points.distance
     )

@@ -1,35 +1,59 @@
 """Scenario sweep driver: fan a (scenario x n x seed) grid over workers.
 
 Single experiments answer one question about one deployment; the sweep
-driver regenerates the whole quality surface in one command.  Every grid
-cell builds the sequential relaxed greedy spanner for one concrete
-workload, assesses it, and reports one flat row (wall clocks included);
-cells execute on the same process-pool pattern as
-:mod:`repro.experiments.run_all` and the per-cell rows aggregate into a
-single ``results/sweep.json`` artifact (grid provenance + rows +
-per-scenario summary) that dashboards can diff run-to-run.
+driver regenerates the whole quality surface in one command.  Two cell
+kinds share the same (scenario x n x seed) grid and process pool:
+
+* **build cells** (the default): every grid cell builds the sequential
+  relaxed greedy spanner for one concrete workload, assesses it, and
+  reports one flat row (wall clocks included);
+* **experiment cells** (``--experiments E1,E4,...``): the registered
+  E/F/A/X experiment bodies run once per grid cell instead, each
+  receiving the cell's scenario/size/seed through the override kwargs
+  the bodies expose (bodies without an override run their built-in
+  workload for that seed), and report pass/fail plus aggregate metrics.
+
+Per-cell rows aggregate into a single ``results/sweep.json`` artifact
+(grid provenance + rows + per-scenario summary) that dashboards can
+diff run-to-run -- ``--diff old.json`` compares the fresh report
+against a previous artifact cell-by-cell and prints every numeric
+metric that moved.
 
 CLI::
 
     python -m repro sweep --scenarios uniform,ring --sizes 256,1024 \
                           --seeds 0,1 --jobs 4 --output results/sweep.json
+    python -m repro sweep --experiments E1,E4 --sizes 64 --seeds 0 \
+                          --diff results/sweep-prev.json
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import itertools
 import json
 import sys
 from pathlib import Path
-from typing import Any, Iterable, Sequence
+from typing import Any, Sequence
 
 from ..graphs.analysis import assess
 from ..params import SpannerParams
-from .runner import format_table, stopwatch
+from .runner import EXPERIMENT_REGISTRY, format_table, stopwatch
 from .workloads import make_workload, scenario_names
 
-__all__ = ["run_cell", "run_sweep", "save_sweep", "main"]
+__all__ = [
+    "run_cell",
+    "run_experiment_cell",
+    "run_sweep",
+    "save_sweep",
+    "diff_reports",
+    "main",
+]
+
+#: Numeric row metrics aggregated into experiment-cell rows (max over
+#: the experiment's own rows; enough for run-to-run diffing).
+_AGGREGATE_KEYS = ("stretch", "energy_stretch", "max_degree", "lightness")
 
 
 def run_cell(
@@ -70,9 +94,53 @@ def run_cell(
     return row
 
 
+def run_experiment_cell(
+    experiment: str, scenario: str, n: int, seed: int
+) -> dict[str, Any]:
+    """Run one registered experiment body for one grid cell.
+
+    The body executes in quick mode with the cell's seed; bodies
+    exposing ``scenarios``/``sizes`` override kwargs (detected by
+    signature) are pinned to the cell's scenario and size, so the same
+    claim re-verifies across the whole deployment grid.  Returns a flat
+    row: identity keys, pass/fail, row count, wall clock, and the max
+    of each recognized numeric metric over the experiment's own rows.
+    """
+    fn = EXPERIMENT_REGISTRY[experiment]
+    params = inspect.signature(fn).parameters
+    kwargs: dict[str, Any] = {}
+    if "scenarios" in params:
+        kwargs["scenarios"] = (scenario,)
+    if "sizes" in params:
+        kwargs["sizes"] = (n,)
+    row: dict[str, Any] = {
+        "experiment": experiment,
+        "scenario": scenario,
+        "n": n,
+        "seed": seed,
+    }
+    with stopwatch(row, "wall_s"):
+        result = fn(quick=True, seed=seed, **kwargs)
+    row.update(passed=bool(result.passed), rows=len(result.rows))
+    for key in _AGGREGATE_KEYS:
+        values = [
+            r[key]
+            for r in result.rows
+            if isinstance(r.get(key), (int, float))
+        ]
+        if values:
+            row[key] = max(values)
+    return row
+
+
 def _run_cell_args(args: tuple) -> dict[str, Any]:
     scenario, n, seed, epsilon, alpha = args
     return run_cell(scenario, n, seed, epsilon=epsilon, alpha=alpha)
+
+
+def _run_experiment_cell_args(args: tuple) -> dict[str, Any]:
+    experiment, scenario, n, seed = args
+    return run_experiment_cell(experiment, scenario, n, seed)
 
 
 def run_sweep(
@@ -83,44 +151,63 @@ def run_sweep(
     epsilon: float = 0.5,
     alpha: float = 1.0,
     jobs: int = 1,
+    experiments: Sequence[str] = (),
 ) -> dict[str, Any]:
     """Execute the full grid and aggregate one report dict.
 
     Cells run on a process pool when ``jobs > 1``; rows always come back
-    in grid order (scenario-major, then n, then seed), so reports are
-    diffable run-to-run regardless of completion order.
+    in grid order (experiment-major when ``experiments`` are given, then
+    scenario, n, seed), so reports are diffable run-to-run regardless of
+    completion order.
     """
-    grid = [
-        (s, int(n), int(seed), float(epsilon), float(alpha))
-        for s, n, seed in itertools.product(scenarios, sizes, seeds)
-    ]
+    if experiments:
+        grid = [
+            (e, s, int(n), int(seed))
+            for e, s, n, seed in itertools.product(
+                experiments, scenarios, sizes, seeds
+            )
+        ]
+        worker = _run_experiment_cell_args
+    else:
+        grid = [
+            (s, int(n), int(seed), float(epsilon), float(alpha))
+            for s, n, seed in itertools.product(scenarios, sizes, seeds)
+        ]
+        worker = _run_cell_args
     if jobs > 1 and len(grid) > 1:
         from concurrent.futures import ProcessPoolExecutor
 
         with ProcessPoolExecutor(max_workers=min(jobs, len(grid))) as pool:
-            rows = list(pool.map(_run_cell_args, grid))
+            rows = list(pool.map(worker, grid))
     else:
-        rows = [_run_cell_args(cell) for cell in grid]
+        rows = [worker(cell) for cell in grid]
 
     summary: dict[str, dict[str, Any]] = {}
     for scenario in scenarios:
         cells = [r for r in rows if r["scenario"] == scenario]
         if not cells:
             continue
-        summary[scenario] = {
+        entry: dict[str, Any] = {
             "cells": len(cells),
-            "max_stretch": max(r["stretch"] for r in cells),
-            "max_degree": max(r["max_degree"] for r in cells),
-            "max_lightness": max(r["lightness"] for r in cells),
-            "total_build_s": round(sum(r["build_s"] for r in cells), 6),
             "passed": all(r["passed"] for r in cells),
         }
+        for key in ("stretch", "max_degree", "lightness"):
+            values = [r[key] for r in cells if key in r]
+            if values:
+                entry[f"max_{key}" if key != "max_degree" else key] = max(
+                    values
+                )
+        wall = [r[k] for r in cells for k in ("build_s", "wall_s") if k in r]
+        if wall:
+            entry["total_build_s"] = round(sum(wall), 6)
+        summary[scenario] = entry
     return {
         "epsilon": epsilon,
         "alpha": alpha,
         "scenarios": list(scenarios),
         "sizes": [int(n) for n in sizes],
         "seeds": [int(s) for s in seeds],
+        "experiments": list(experiments),
         "num_cells": len(rows),
         "passed": all(r["passed"] for r in rows),
         "cells": rows,
@@ -134,6 +221,73 @@ def save_sweep(report: dict[str, Any], path: str | Path) -> Path:
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(report, indent=2, default=str) + "\n")
     return path
+
+
+#: Cell identity: the grid coordinates (build cells lack "experiment").
+_IDENTITY_KEYS = ("experiment", "scenario", "n", "seed")
+
+
+def _cell_key(row: dict[str, Any]) -> tuple:
+    return tuple(row.get(k) for k in _IDENTITY_KEYS)
+
+
+def diff_reports(
+    old: dict[str, Any],
+    new: dict[str, Any],
+    *,
+    rel_tol: float = 1e-9,
+) -> dict[str, Any]:
+    """Cell-by-cell metric deltas between two sweep reports.
+
+    Cells match on their grid identity (experiment, scenario, n, seed).
+    Every numeric metric on either side of a matched pair is compared
+    (a metric that appears on or disappears from one side is itself a
+    change and is reported with the missing side as ``None``); entries
+    whose relative change exceeds ``rel_tol`` (wall clocks are skipped
+    -- they never reproduce) land in ``changed`` as flat rows ready for
+    :func:`repro.experiments.runner.format_table`.  Cells present on
+    only one side are reported as ``added`` / ``removed`` identities.
+    """
+    old_cells = {_cell_key(r): r for r in old.get("cells", [])}
+    new_cells = {_cell_key(r): r for r in new.get("cells", [])}
+    changed: list[dict[str, Any]] = []
+    for key in new_cells:
+        if key not in old_cells:
+            continue
+        before, after = old_cells[key], new_cells[key]
+        for metric in {**before, **after}:
+            if metric in _IDENTITY_KEYS or metric.endswith("_s"):
+                continue
+            a, b = before.get(metric), after.get(metric)
+            a_num = isinstance(a, (int, float))
+            b_num = isinstance(b, (int, float))
+            if not a_num and not b_num:
+                continue
+            if a_num and b_num:
+                a, b = float(a), float(b)
+                if abs(b - a) <= rel_tol * max(abs(a), abs(b), 1.0):
+                    continue
+                delta = b - a
+            else:
+                delta = None  # metric appeared or disappeared
+            changed.append(
+                {
+                    **{
+                        k: v
+                        for k, v in zip(_IDENTITY_KEYS, key)
+                        if v is not None
+                    },
+                    "metric": metric,
+                    "old": a,
+                    "new": b,
+                    "delta": delta,
+                }
+            )
+    return {
+        "changed": changed,
+        "added": [list(k) for k in new_cells if k not in old_cells],
+        "removed": [list(k) for k in old_cells if k not in new_cells],
+    }
 
 
 def _csv(text: str) -> list[str]:
@@ -153,6 +307,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--seeds", default="0", help="comma-separated workload seeds"
     )
+    parser.add_argument(
+        "--experiments", default="",
+        help=(
+            "comma-separated experiment ids (e.g. E1,E4): run those "
+            "bodies over the grid instead of build cells"
+        ),
+    )
     parser.add_argument("--epsilon", type=float, default=0.5)
     parser.add_argument("--alpha", type=float, default=1.0)
     parser.add_argument(
@@ -162,6 +323,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--output", default="results/sweep.json",
         help="aggregated report path ('' skips persistence)",
+    )
+    parser.add_argument(
+        "--diff", default="",
+        help="previous sweep.json to diff the fresh report against",
     )
     args = parser.parse_args(argv)
 
@@ -174,13 +339,35 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 2
+    experiments = [e.upper() for e in _csv(args.experiments)]
+    unknown = set(experiments) - set(EXPERIMENT_REGISTRY)
+    if unknown:
+        print(
+            f"unknown experiment id(s): {sorted(unknown)}; "
+            f"available: {sorted(EXPERIMENT_REGISTRY)}",
+            file=sys.stderr,
+        )
+        return 2
     sizes = [int(x) for x in _csv(args.sizes)]
     seeds = [int(x) for x in _csv(args.seeds)]
     report = run_sweep(
         scenarios, sizes, seeds,
         epsilon=args.epsilon, alpha=args.alpha, jobs=args.jobs,
+        experiments=experiments,
     )
     print(format_table(report["cells"]))
+    if args.diff:
+        old = json.loads(Path(args.diff).read_text())
+        delta = diff_reports(old, report)
+        print(f"\ndiff vs {args.diff}:")
+        if delta["changed"]:
+            print(format_table(delta["changed"]))
+        else:
+            print("(no metric changes)")
+        if delta["added"]:
+            print(f"added cells: {delta['added']}")
+        if delta["removed"]:
+            print(f"removed cells: {delta['removed']}")
     if args.output:
         path = save_sweep(report, args.output)
         print(f"wrote {report['num_cells']} cell(s) to {path}", file=sys.stderr)

@@ -25,9 +25,18 @@ __all__ = ["run"]
 
 
 @register("X1")
-def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
-    """Execute X1."""
-    n = 72 if quick else 144
+def run(
+    quick: bool = False,
+    seed: int = 0,
+    *,
+    sizes: tuple[int, ...] | None = None,
+) -> ExperimentResult:
+    """Execute X1.
+
+    ``sizes`` overrides the node count (first entry); X1 samples its
+    own abstract-metric point process, so no scenario override exists.
+    """
+    n = sizes[0] if sizes else (72 if quick else 144)
     eps = 0.5
     result = ExperimentResult(
         experiment="X1",

@@ -1,8 +1,15 @@
 """Section 1.6 extensions: fault tolerance, energy metrics, power cost."""
 
-from .energy import EnergySpannerResult, build_energy_spanner, reweight_graph
+from .energy import (
+    EnergyCostOracle,
+    EnergySpannerResult,
+    build_energy_spanner,
+    energy_cost_oracle,
+    reweight_graph,
+)
 from .fault_tolerance import (
     FaultInjectionReport,
+    FaultMaskedOracle,
     fault_injection_report,
     is_k_vertex_fault_tolerant,
     multipass_fault_tolerant_spanner,
@@ -16,6 +23,9 @@ from .power_cost import (
 )
 
 __all__ = [
+    "FaultMaskedOracle",
+    "EnergyCostOracle",
+    "energy_cost_oracle",
     "one_fault_greedy",
     "multipass_fault_tolerant_spanner",
     "FaultInjectionReport",

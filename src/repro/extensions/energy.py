@@ -21,13 +21,58 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..core.covered import DistanceOracle
+from ..core.oracle import as_oracle
 from ..core.relaxed_greedy import RelaxedGreedySpanner, SpannerResult
 from ..exceptions import ParameterError
 from ..geometry.metrics import EnergyMetric
 from ..graphs.graph import Graph
 from ..params import SpannerParams
 
-__all__ = ["EnergySpannerResult", "reweight_graph", "build_energy_spanner"]
+__all__ = [
+    "EnergySpannerResult",
+    "EnergyCostOracle",
+    "energy_cost_oracle",
+    "reweight_graph",
+    "build_energy_spanner",
+]
+
+
+class EnergyCostOracle:
+    """Batched oracle reporting energy costs ``c * d(u, v)^gamma``.
+
+    Wraps a base distance oracle (upgraded via
+    :func:`repro.core.oracle.as_oracle`) and maps every distance through
+    an :class:`EnergyMetric`.  Scalar and ``pairs`` queries share the
+    metric's array path (``weights_of_lengths``), so they agree
+    bit-for-bit per pair whenever the base oracle does -- the energy
+    extension's ticket onto the flattened covered-filter witness scan.
+    """
+
+    __slots__ = ("_base", "metric")
+
+    batched = True
+
+    def __init__(
+        self, base: DistanceOracle, metric: EnergyMetric | None = None
+    ) -> None:
+        self._base = as_oracle(base)
+        self.metric = metric if metric is not None else EnergyMetric()
+
+    def __call__(self, u: int, v: int) -> float:
+        return self.metric.weight_of_length(self._base(u, v))
+
+    def pairs(self, u, v):
+        return self.metric.weights_of_lengths(self._base.pairs(u, v))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"EnergyCostOracle({self.metric!r})"
+
+
+def energy_cost_oracle(
+    dist: DistanceOracle, *, gamma: float = 2.0, c: float = 1.0
+) -> EnergyCostOracle:
+    """Energy-cost view of a Euclidean oracle (``w = c * |uv|^gamma``)."""
+    return EnergyCostOracle(dist, EnergyMetric(gamma=gamma, c=c))
 
 
 @dataclass

@@ -27,6 +27,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.covered import DistanceOracle
+from ..core.oracle import as_oracle
 from ..core.relaxed_greedy import RelaxedGreedySpanner
 from ..exceptions import GraphError
 from ..graphs.analysis import measure_stretch
@@ -35,12 +36,61 @@ from ..graphs.paths import dijkstra
 from ..params import SpannerParams
 
 __all__ = [
+    "FaultMaskedOracle",
     "one_fault_greedy",
     "multipass_fault_tolerant_spanner",
     "FaultInjectionReport",
     "fault_injection_report",
     "is_k_vertex_fault_tolerant",
 ]
+
+
+class FaultMaskedOracle:
+    """Distance oracle with a set of failed vertices masked to ``inf``.
+
+    Any pair touching a failed vertex reports ``inf``; all other pairs
+    defer to the wrapped base oracle (upgraded via
+    :func:`repro.core.oracle.as_oracle`).  Under the covered-edge filter
+    this excludes failed vertices as Lemma 3 witnesses -- an ``inf``
+    witness leg fails both the ``|uz| <= |uv|`` precondition and the
+    ``|vz| <= alpha`` network-edge condition -- which is how
+    fault-injection analyses probe a spanner's filter decisions after
+    faults without rebuilding the point set.  Scalar and ``pairs``
+    queries agree bit-for-bit whenever the base oracle's do (masked
+    entries are the same literal ``inf`` on both paths).
+    """
+
+    __slots__ = ("_base", "_faults", "_fault_arr")
+
+    batched = True
+
+    def __init__(self, base: DistanceOracle, faults) -> None:
+        self._base = as_oracle(base)
+        self._faults = frozenset(int(x) for x in faults)
+        self._fault_arr = np.asarray(sorted(self._faults), dtype=np.int64)
+
+    @property
+    def faults(self) -> frozenset:
+        """The masked vertex ids."""
+        return self._faults
+
+    def __call__(self, u: int, v: int) -> float:
+        if u in self._faults or v in self._faults:
+            return float("inf")
+        return self._base(u, v)
+
+    def pairs(self, u, v):
+        u = np.asarray(u, dtype=np.int64)
+        v = np.asarray(v, dtype=np.int64)
+        out = np.asarray(self._base.pairs(u, v), dtype=np.float64)
+        if self._fault_arr.size:
+            masked = np.isin(u, self._fault_arr) | np.isin(v, self._fault_arr)
+            if masked.any():
+                out = np.where(masked, np.inf, out)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FaultMaskedOracle(faults={sorted(self._faults)})"
 
 
 def _survives_worst_single_fault(
@@ -116,6 +166,7 @@ def multipass_fault_tolerant_spanner(
         epsilon * pass_epsilon_factor, alpha=alpha, dim=dim
     )
     builder = RelaxedGreedySpanner(params, check_clique=False)
+    dist = as_oracle(dist)  # upgrade once; all k+1 passes share the oracle
     residual = graph.copy()
     union = Graph(graph.num_vertices)
     for _ in range(k + 1):

@@ -118,6 +118,20 @@ class PointSet:
         """Distances ``|u_i v_i|`` for aligned index arrays (vectorized)."""
         return np.sqrt(self.sq_distances_between(u, v))
 
+    def oracle(self):
+        """This point set as a batched :class:`~repro.core.oracle.DistanceOracle`.
+
+        Scalar calls route through :meth:`distance` and batched ``pairs``
+        through :meth:`distances_between` -- the same einsum reduction,
+        so the two views agree bit-for-bit per pair.  Passing the bound
+        method ``points.distance`` to any algorithm is equivalent (the
+        core upgrades it via :func:`repro.core.oracle.as_oracle`); this
+        accessor just makes the protocol form explicit.
+        """
+        from ..core.oracle import BoundMethodOracle
+
+        return BoundMethodOracle(self.distance, self.distances_between)
+
     def distances_from(self, u: int) -> np.ndarray:
         """Vector of Euclidean distances from ``u`` to every point."""
         diff = self._coords - self._coords[u]

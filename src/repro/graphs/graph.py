@@ -6,13 +6,25 @@ labels) and edges carry positive float weights.  The representation is a
 dict-of-dicts adjacency (neighbor iteration, O(1) edge queries, cheap
 dynamic insertion) *paired with an append-log edge store*: every edge
 occupies one row of three aligned growable numpy arrays, so the array
-snapshots (:meth:`edges_arrays`, :meth:`csr`) refresh in O(changed)
-after a mutation burst instead of O(m) -- appends extend the log tail
-and merge into the cached CSR as a delta; only deletions and weight
-overwrites force a full CSR rebuild (still one C-level pass, never a
-per-edge Python loop).  Snapshots handed out stay frozen: the log copies
-itself before any in-place perturbation (copy-on-write), so callers may
-hold arrays across later mutations.
+snapshots (:meth:`edges_arrays`, :meth:`csr_snapshot`) refresh in
+O(changed) after a mutation burst instead of O(m).
+
+The CSR view is **two-layered** (:class:`CsrSnapshot`): a frozen *base*
+matrix covering a prefix of the append log plus a small sorted directed
+*tail* holding the rows appended since the base was built.  Refreshing
+after a k-edge append burst costs O(k log k) tail sorting -- no O(m)
+merge, no coordinate re-sort of the existing structure -- and the sparse
+path kernels (:func:`repro.graphs.paths.multi_source_ball_lists` and
+its consumers) relax tail edges natively, so the construction hot loop
+never materializes a full matrix between appends.  Dense kernels that
+need one complete scipy matrix call :meth:`CsrSnapshot.matrix` (what
+:meth:`Graph.csr` returns), which merges base + tail once and caches
+the result.  The tail folds into a fresh base when it outgrows a fixed
+fraction of the log (compaction), bounding tail scans; deletions and
+weight overwrites still force a full base rebuild (one C-level pass,
+never a per-edge Python loop).  Snapshots handed out stay frozen: the
+log copies itself before any in-place perturbation (copy-on-write), so
+callers may hold arrays across later mutations.
 """
 
 from __future__ import annotations
@@ -21,12 +33,102 @@ from typing import Iterable, Iterator
 
 import numpy as np
 
+from ..arrayops import run_expand
 from ..exceptions import GraphError
 
-__all__ = ["Graph"]
+__all__ = ["Graph", "CsrSnapshot"]
 
 #: Initial capacity of the append-log buffers.
 _LOG_MIN_CAPACITY = 16
+
+#: Compaction: the tail folds into the base once
+#: ``tail_rows * _TAIL_FOLD_DEN > log_rows`` (past 1/4 of the whole log).
+_TAIL_FOLD_DEN = 4
+
+
+class CsrSnapshot:
+    """Two-layer CSR snapshot: frozen base matrix + sorted directed tail.
+
+    ``base`` is a symmetric :class:`scipy.sparse.csr_matrix` covering a
+    prefix of the owning graph's append log; the tail holds every edge
+    appended since, as directed slot arrays sorted by ``(src, dst)``
+    (both orientations, so ``tail_src``/``tail_dst``/``tail_w`` have
+    ``2 * num_tail_edges`` entries).  Base and tail supports are
+    disjoint -- overwrites and deletions rebuild the base instead of
+    entering the tail -- so relaxing base rows plus tail slots visits
+    exactly the graph's edge multiset.
+
+    Snapshots are immutable: the owning graph replaces (never mutates)
+    its cached snapshot, so holding one across later graph mutations is
+    safe.
+    """
+
+    __slots__ = ("base", "tail_src", "tail_dst", "tail_w", "_matrix")
+
+    def __init__(
+        self,
+        base,
+        tail_src: np.ndarray,
+        tail_dst: np.ndarray,
+        tail_w: np.ndarray,
+    ) -> None:
+        self.base = base
+        self.tail_src = tail_src
+        self.tail_dst = tail_dst
+        self.tail_w = tail_w
+        self._matrix = None
+
+    @property
+    def num_tail_edges(self) -> int:
+        """Undirected edges living in the tail layer."""
+        return self.tail_src.size // 2
+
+    @property
+    def has_tail(self) -> bool:
+        """Whether any edges live outside the base matrix."""
+        return self.tail_src.size > 0
+
+    def tail_neighbors(
+        self, verts: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Tail adjacency rows for ``verts``: ``(counts, dst, w)``.
+
+        ``counts[i]`` tail neighbors of ``verts[i]``; ``dst``/``w`` are
+        the concatenated neighbor/weight runs in ``verts`` order.  Two
+        binary searches over the sorted tail per query vertex -- O(log
+        tail) each -- which is what lets the sparse frontier kernel
+        consume the snapshot without ever merging the layers.
+        """
+        lo = np.searchsorted(self.tail_src, verts, side="left")
+        hi = np.searchsorted(self.tail_src, verts, side="right")
+        counts = hi - lo
+        idx = run_expand(lo, counts)
+        return counts, self.tail_dst[idx], self.tail_w[idx]
+
+    def matrix(self):
+        """The merged full matrix (cached; for dense/scipy kernels).
+
+        With an empty tail this *is* the base; otherwise base + tail
+        merge once per snapshot (one C-level sparse addition, the cost
+        the sparse kernels avoid paying).
+        """
+        if self._matrix is None:
+            if not self.has_tail:
+                self._matrix = self.base
+            else:
+                from scipy.sparse import coo_matrix
+
+                delta = coo_matrix(
+                    (self.tail_w, (self.tail_src, self.tail_dst)),
+                    shape=self.base.shape,
+                ).tocsr()
+                self._matrix = self.base + delta
+        return self._matrix
+
+    @property
+    def merge_pending(self) -> bool:
+        """True while the full matrix would still have to be merged."""
+        return self.has_tail and self._matrix is None
 
 
 class Graph:
@@ -49,8 +151,10 @@ class Graph:
         "_row_of",
         "_log_shared",
         "_edges_cache",
-        "_csr_cache",
-        "_csr_rows",
+        "_base_csr",
+        "_base_rows",
+        "_snapshot",
+        "_snapshot_rows",
     )
 
     def __init__(self, num_vertices: int) -> None:
@@ -70,10 +174,14 @@ class Graph:
         # in-place perturbations must copy first (copy-on-write).
         self._log_shared = False
         self._edges_cache: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
-        self._csr_cache = None
-        # Number of log rows reflected in _csr_cache (appends beyond it
-        # merge as a delta; deletions/overwrites null the cache instead).
-        self._csr_rows = 0
+        # Two-layer CSR state: _base_csr covers log rows [0, _base_rows);
+        # rows beyond it form the tail of the current CsrSnapshot.
+        # Deletions/overwrites null the base; appends only stale the
+        # snapshot (the next csr_snapshot() rebuilds just the tail).
+        self._base_csr = None
+        self._base_rows = 0
+        self._snapshot: CsrSnapshot | None = None
+        self._snapshot_rows = -1
 
     # ------------------------------------------------------------------
     # Append-log plumbing
@@ -122,7 +230,9 @@ class Graph:
             self._log_materialize()
         self._log_w[row] = w
         self._edges_cache = None
-        self._csr_cache = None
+        self._base_csr = None
+        self._base_rows = 0
+        self._snapshot = None
 
     def _log_delete(self, a: int, b: int) -> None:
         """Swap-delete one normalized edge row (copy-on-write)."""
@@ -139,7 +249,9 @@ class Graph:
             self._row_of[(lu, lv)] = row
         self._log_len = last
         self._edges_cache = None
-        self._csr_cache = None
+        self._base_csr = None
+        self._base_rows = 0
+        self._snapshot = None
 
     # ------------------------------------------------------------------
     # Basic queries
@@ -472,49 +584,86 @@ class Graph:
             out.add_edge(u, v, float(data.get("weight", 1.0)))
         return out
 
-    def csr(self):
-        """Symmetric :class:`scipy.sparse.csr_matrix` snapshot of the graph.
+    def csr_snapshot(self) -> CsrSnapshot:
+        """Two-layer CSR snapshot: frozen base + appended-edge tail.
 
-        This is the single array interchange format the analysis, path,
-        MST and component kernels consume.  The matrix is cached; after
-        an append-only mutation burst it refreshes by merging just the
-        ``k`` new log rows into the cached matrix (one C-level delta
-        merge -- no per-edge Python work and no coordinate re-sort of the
-        existing structure).  Deletions and weight overwrites fall back
-        to a full O(m) C-level rebuild from :meth:`edges_arrays`.  Treat
-        the result as read-only (every kernel does); it is never mutated
-        in place, so held references stay valid across graph mutations.
+        This is the interchange format the sparse path kernels consume
+        natively.  Refreshing after a ``k``-edge append burst builds
+        only the tail (one O(k log k) sort of the new log rows) --
+        independent of the total edge count ``m``.  The tail folds into
+        a rebuilt base (one C-level O(m) pass) when it outgrows
+        ``1 / _TAIL_FOLD_DEN`` of the log, and on deletions or weight
+        overwrites, which invalidate the base outright.  Snapshots are
+        immutable and cached until the next mutation.
         """
-        if self._csr_cache is not None and self._csr_rows == self._log_len:
-            return self._csr_cache
+        m = self._log_len
+        if self._snapshot is not None and self._snapshot_rows == m:
+            return self._snapshot
         from scipy.sparse import coo_matrix
 
         n = self.num_vertices
-        if self._csr_cache is not None and self._csr_rows < self._log_len:
-            # Append-only delta: merge just the new rows (both directions).
-            lo, hi = self._csr_rows, self._log_len
-            du = self._log_u[lo:hi]
-            dv = self._log_v[lo:hi]
-            dw = self._log_w[lo:hi]
-            delta = coo_matrix(
-                (
-                    np.concatenate([dw, dw]),
-                    (np.concatenate([du, dv]), np.concatenate([dv, du])),
-                ),
-                shape=(n, n),
-            ).tocsr()
-            self._csr_cache = self._csr_cache + delta
-        else:
+        base_ok = self._base_csr is not None and self._base_rows <= m
+        tail_rows = m - self._base_rows if base_ok else m
+        if not base_ok or tail_rows * _TAIL_FOLD_DEN > m:
+            # Compaction: fold everything into a fresh base.
             us, vs, ws = self.edges_arrays()
-            self._csr_cache = coo_matrix(
+            self._base_csr = coo_matrix(
                 (
                     np.concatenate([ws, ws]),
                     (np.concatenate([us, vs]), np.concatenate([vs, us])),
                 ),
                 shape=(n, n),
             ).tocsr()
-        self._csr_rows = self._log_len
-        return self._csr_cache
+            self._base_rows = m
+            tail_rows = 0
+        if tail_rows == 0:
+            empty_i = np.empty(0, dtype=np.int64)
+            snapshot = CsrSnapshot(
+                self._base_csr, empty_i, empty_i,
+                np.empty(0, dtype=np.float64),
+            )
+        else:
+            lo = self._base_rows
+            du = self._log_u[lo:m]
+            dv = self._log_v[lo:m]
+            dw = self._log_w[lo:m]
+            t_src = np.concatenate([du, dv])
+            t_dst = np.concatenate([dv, du])
+            t_w = np.concatenate([dw, dw])
+            order = np.lexsort((t_dst, t_src))
+            snapshot = CsrSnapshot(
+                self._base_csr, t_src[order], t_dst[order], t_w[order]
+            )
+        self._snapshot = snapshot
+        self._snapshot_rows = m
+        return snapshot
+
+    def csr_merge_pending(self) -> bool:
+        """Whether ``csr()`` would have to merge a pending tail right now.
+
+        Cheap capacity probe for kernel-selection heuristics: ``True``
+        means the full matrix is stale (appends since the last merge),
+        so a dense kernel would first pay the O(m) base + tail merge
+        that the sparse, snapshot-native kernels skip.
+        """
+        if self._snapshot is not None and self._snapshot_rows == self._log_len:
+            return self._snapshot.merge_pending
+        base_ok = self._base_csr is not None and self._base_rows <= self._log_len
+        return not base_ok or self._base_rows < self._log_len
+
+    def csr(self):
+        """Symmetric :class:`scipy.sparse.csr_matrix` snapshot of the graph.
+
+        The merged full-matrix view of :meth:`csr_snapshot` -- what the
+        dense analysis, path, MST and component kernels consume.  Cached
+        per snapshot: after an append burst the first call pays one
+        C-level base + tail merge, later calls are free; sparse kernels
+        that consume the two-layer snapshot natively never trigger the
+        merge at all.  Treat the result as read-only (every kernel
+        does); it is never mutated in place, so held references stay
+        valid across graph mutations.
+        """
+        return self.csr_snapshot().matrix()
 
     def to_scipy_csr(self):
         """Alias of :meth:`csr` (kept for API compatibility)."""

@@ -52,6 +52,7 @@ __all__ = [
     "multi_source_distances",
     "multi_source_trees",
     "pair_distances",
+    "pair_distance_matrix",
     "NO_PREDECESSOR",
 ]
 
@@ -60,6 +61,12 @@ NO_PREDECESSOR = -9999
 
 #: Soft bound on floats held by one batched distance block (rows x n).
 _BLOCK_ENTRIES = 4_000_000
+
+#: Directed-entry count past which the sparse kernel consumes the
+#: two-layer snapshot natively instead of merging base + tail: below
+#: it one C-level merge costs less than per-round tail lookups; above
+#: it the O(m) merge is the dominant cost the tail layer exists to skip.
+_TAIL_NATIVE_MIN_NNZ = 65_536
 
 
 def _check_sources(graph: Graph, sources: Sequence[int]) -> np.ndarray:
@@ -75,29 +82,49 @@ def _check_sources(graph: Graph, sources: Sequence[int]) -> np.ndarray:
 
 def source_block_size(graph: Graph) -> int:
     """Number of sources per batched-dijkstra block that keeps one block's
-    distance matrix around :data:`_BLOCK_ENTRIES` floats (memory cap)."""
+    distance matrix around :data:`_BLOCK_ENTRIES` floats (memory cap).
+
+    Independent of the two-layer snapshot state: block width is a memory
+    bound on the dense output rows, not on the matrix -- the tail's cost
+    is handled by :func:`prefer_batched_sources` instead.
+    """
     return max(1, _BLOCK_ENTRIES // max(1, graph.num_vertices))
 
 
 def prefer_batched_sources(
     graph: Graph, sources: Sequence[int], cutoff: float | None
 ) -> bool:
-    """Whether a batched C-level Dijkstra beats per-source dict Dijkstra.
+    """Whether a batched C-level Dijkstra beats the sparse/dict kernels.
 
-    The batched kernel pays O(n) dense-output setup per source; the dict
-    Dijkstra pays O(ball size) Python-heap work per source.  Probing one
-    ball from the first source puts the query on the right side of that
+    The batched kernel pays O(n) dense-output setup per source; the
+    sparse kernels pay O(ball size) work per source.  Probing one ball
+    from the first source puts the query on the right side of that
     trade: batched wins once balls exceed roughly n/64 vertices (the
     measured numpy-vs-Python constant gap), and always wins for
     unbounded queries.  The probe ball is discarded -- re-searching one
     small ball in the scalar fallback is noise next to the k that follow.
+
+    Two-layer awareness: when the graph's full CSR matrix is stale
+    (appended edges still live in the snapshot tail), the dense kernel
+    must first pay the O(m) base + tail merge that the sparse kernels
+    skip, so modest batches of modest balls stay on the sparse side
+    until the dense rows themselves (``k * ball``) amortize a merge of
+    ``m`` edges.  The micro-probe suite pins this crossover.
     """
     if cutoff is None:
         return True
     if len(sources) <= 1 or graph.num_vertices < 256:
         return True  # too small for the constants to matter
     ball = dijkstra(graph, sources[0], cutoff=cutoff)
-    return len(ball) * 64 >= graph.num_vertices
+    if len(ball) * 64 < graph.num_vertices:
+        return False
+    if graph.csr_merge_pending() and len(sources) * len(ball) < graph.num_edges:
+        # Same crossover the sparse kernel applies: only a base past the
+        # nnz threshold makes its native-tail path (and hence the merge
+        # avoidance) real; below it the merge is trivial either way.
+        if graph.csr_snapshot().base.nnz >= _TAIL_NATIVE_MIN_NNZ:
+            return False  # dense would pay a non-trivial tail merge first
+    return True
 
 
 def multi_source_distances(
@@ -132,28 +159,93 @@ def multi_source_distances(
 
 
 def pair_distances(
-    graph: Graph, us: np.ndarray, vs: np.ndarray
+    graph: Graph,
+    us: np.ndarray,
+    vs: np.ndarray,
+    *,
+    cutoff: float | None = None,
 ) -> np.ndarray:
     """Shortest-path distances for aligned endpoint arrays.
 
-    ``out[i] = sp(us[i], vs[i])`` (``inf`` when unreachable), computed as
-    blocked multi-source batches over the CSR snapshot -- the bulk
-    replacement for per-pair ``dijkstra(graph, u, targets={v})`` loops
-    in samplers and delivery reports.
+    ``out[i] = sp(us[i], vs[i])`` (``inf`` when unreachable, or beyond
+    ``cutoff``) -- the graph-metric analogue of a distance oracle's
+    batched ``pairs`` query, and the single kernel behind query
+    answering and redundancy detection.  Sources group into blocked
+    dense multi-source batches when balls are wide; with a ``cutoff``
+    in the tiny-ball regime the frontier-sharing sparse search runs
+    instead (see :func:`prefer_batched_sources`).  Both branches fill
+    identical floats.  Callers holding a structured cross product
+    should use :func:`pair_distance_matrix` instead of materializing
+    the k x t aligned arrays here.
     """
     us = np.asarray(us, dtype=np.int64)
     vs = np.asarray(vs, dtype=np.int64)
     if us.shape != vs.shape or us.ndim != 1:
         raise GraphError("endpoint arrays must be aligned one-dimensional")
     _check_sources(graph, vs)
-    out = np.empty(us.shape[0], dtype=np.float64)
     src = np.unique(us)
-    block = source_block_size(graph)
-    for lo in range(0, src.size, block):
-        chunk = src[lo : lo + block]
-        rows = multi_source_distances(graph, chunk)
-        sel = (us >= chunk[0]) & (us <= chunk[-1])
-        out[sel] = rows[np.searchsorted(chunk, us[sel]), vs[sel]]
+    if cutoff is None or prefer_batched_sources(graph, src, cutoff):
+        out = np.empty(us.shape[0], dtype=np.float64)
+        block = source_block_size(graph)
+        for lo in range(0, src.size, block):
+            chunk = src[lo : lo + block]
+            rows = multi_source_distances(graph, chunk, cutoff=cutoff)
+            sel = (us >= chunk[0]) & (us <= chunk[-1])
+            out[sel] = rows[np.searchsorted(chunk, us[sel]), vs[sel]]
+        return out
+    # Tiny balls: sparse frontier-sharing search, then key lookups.
+    starts, ball_v, ball_d = multi_source_ball_lists(graph, src, cutoff)
+    n = np.int64(graph.num_vertices)
+    keys = (
+        np.repeat(np.arange(src.size, dtype=np.int64), np.diff(starts)) * n
+        + ball_v
+    )
+    want = np.searchsorted(src, us) * n + vs
+    pos = np.searchsorted(keys, want)
+    in_range = pos < keys.size
+    safe = np.where(in_range, pos, 0)
+    found = in_range & (keys[safe] == want)
+    return np.where(found, ball_d[safe], np.inf)
+
+
+def pair_distance_matrix(
+    graph: Graph,
+    sources: np.ndarray,
+    targets: np.ndarray,
+    *,
+    cutoff: float | None = None,
+) -> np.ndarray:
+    """``D[i, j] = sp(sources[i], targets[j])`` within ``cutoff``.
+
+    The cross-product form of :func:`pair_distances`: one call fills a
+    whole ``(k, t)`` distance matrix (``inf`` beyond ``cutoff`` or when
+    unreachable).  Dense blocked multi-source rows gather the target
+    columns when balls are wide; in the tiny-cutoff regime the
+    frontier-sharing sparse search scatters each ball into its row
+    instead (O(ball mass), no per-cell lookups).  Both branches fill
+    identical floats.  ``targets`` must not contain duplicates (the
+    scatter keys columns by target id).
+    """
+    src = np.asarray(sources, dtype=np.int64)
+    tgt = np.asarray(targets, dtype=np.int64)
+    _check_sources(graph, tgt)
+    if cutoff is None or prefer_batched_sources(graph, src, cutoff):
+        out = np.empty((src.size, tgt.size), dtype=np.float64)
+        block = source_block_size(graph)
+        for lo in range(0, src.size, block):
+            rows = multi_source_distances(
+                graph, src[lo : lo + block], cutoff=cutoff
+            )
+            out[lo : lo + rows.shape[0]] = rows[:, tgt]
+        return out
+    out = np.full((src.size, tgt.size), np.inf, dtype=np.float64)
+    starts, ball_v, ball_d = multi_source_ball_lists(graph, src, cutoff)
+    pos_of = np.full(graph.num_vertices, -1, dtype=np.int64)
+    pos_of[tgt] = np.arange(tgt.size, dtype=np.int64)
+    rows_idx = np.repeat(np.arange(src.size, dtype=np.int64), np.diff(starts))
+    cols = pos_of[ball_v]
+    hit = cols >= 0
+    out[rows_idx[hit], cols[hit]] = ball_d[hit]
     return out
 
 
@@ -195,7 +287,17 @@ def multi_source_ball_lists(
             np.empty(0, dtype=np.int64),
             np.empty(0, dtype=np.float64),
         )
-    mat = graph.csr()
+    # Consume the two-layer snapshot natively: base CSR rows expand as
+    # before, tail edges (appends since the base was built) relax as
+    # extra per-round candidates -- no base + tail merge is ever paid.
+    # The relaxation multiset per round is identical to a merged matrix
+    # and the reductions take exact minima, so distances stay
+    # bit-identical to the single-layer path.  Below the nnz crossover
+    # a C-level merge is cheaper than per-round tail lookups, so small
+    # graphs take the (cached) merged matrix instead.
+    snap = graph.csr_snapshot()
+    has_tail = snap.has_tail and snap.base.nnz >= _TAIL_NATIVE_MIN_NNZ
+    mat = snap.base if has_tail else snap.matrix()
     indptr = np.asarray(mat.indptr, dtype=np.int64)
     indices = np.asarray(mat.indices, dtype=np.int64)
     weights = np.asarray(mat.data, dtype=np.float64)
@@ -213,6 +315,14 @@ def multi_source_ball_lists(
         nk = (f_keys - fv)[np.repeat(
             np.arange(f_keys.size, dtype=np.int64), deg
         )] + indices[eidx]
+        if has_tail:
+            t_deg, t_dst, t_w = snap.tail_neighbors(fv)
+            t_nd = np.repeat(f_d, t_deg) + t_w
+            t_nk = (f_keys - fv)[np.repeat(
+                np.arange(f_keys.size, dtype=np.int64), t_deg
+            )] + t_dst
+            nd = np.concatenate([nd, t_nd])
+            nk = np.concatenate([nk, t_nk])
         keep = nd <= cutoff
         nk, nd = nk[keep], nd[keep]
         if nk.size == 0:

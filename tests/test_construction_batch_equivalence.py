@@ -13,7 +13,6 @@ import pytest
 
 import repro.core.cluster_graph as cluster_graph_mod
 import repro.core.cover as cover_mod
-import repro.core.redundancy as redundancy_mod
 import repro.graphs.paths as paths_mod
 from repro.core.bins import EdgeBinning
 from repro.core.cluster_graph import (
@@ -227,11 +226,13 @@ class TestRedundancyEquivalence:
             assert got == ref
 
     def test_both_probe_branches_match(self, monkeypatch):
+        # The dense/sparse pick now lives in paths.pair_distances (the
+        # shared graph-metric pairs kernel); force it both ways there.
         added, h, w_prev = self._added_edges(1)
         ref = find_redundant_pairs_reference(added, h, 2.5, w_cur=2 * w_prev)
         for forced in (True, False):
             monkeypatch.setattr(
-                redundancy_mod,
+                paths_mod,
                 "prefer_batched_sources",
                 lambda g, s, c, _f=forced: _f,
             )
@@ -254,7 +255,7 @@ class TestQueryAnswering:
         ]
         for forced in (True, False):
             monkeypatch.setattr(
-                cluster_graph_mod,
+                paths_mod,
                 "prefer_batched_sources",
                 lambda g, s, c, _f=forced: _f,
             )
@@ -330,7 +331,9 @@ class TestEndToEndPinning:
         ]
         for forced in (True, False):
             force = lambda g, s, c, _f=forced: _f
-            for mod in (paths_mod, cover_mod, cluster_graph_mod, redundancy_mod):
+            # redundancy consults the probe through paths.pair_distances
+            # these days, so patching paths_mod covers it.
+            for mod in (paths_mod, cover_mod, cluster_graph_mod):
                 monkeypatch.setattr(mod, "prefer_batched_sources", force)
             result = build_spanner(wl.graph, wl.points.distance, 0.5)
             assert sorted(result.spanner.edges()) == base_edges

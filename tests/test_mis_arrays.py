@@ -1,0 +1,155 @@
+"""CSR-native MIS pipeline: dict-free Luby runs and their validation.
+
+The distributed build keeps the proximity graph ``J`` as ``(indptr,
+indices)`` arrays end-to-end; these tests pin the array path against the
+dict path -- identical ``RunResult`` accounting and identical chosen
+sets for every seed -- and the engine's CSR-topology validation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.distributed.dist_spanner import DistributedRelaxedGreedy
+from repro.distributed.engine import SynchronousNetwork
+from repro.distributed.mis import (
+    run_luby_mis,
+    run_luby_mis_arrays,
+    verify_mis_arrays,
+)
+from repro.distributed.protocols.luby import LubyMIS
+from repro.exceptions import ProtocolError
+from repro.experiments.workloads import make_workload
+from repro.params import SpannerParams
+
+
+def random_adjacency(n, p, seed):
+    rng = np.random.default_rng(seed)
+    adj = {u: set() for u in range(n)}
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < p:
+                adj[u].add(v)
+                adj[v].add(u)
+    return adj
+
+
+def to_csr(adj):
+    n = len(adj)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    rows = []
+    for u in range(n):
+        nbrs = sorted(adj[u])
+        indptr[u + 1] = indptr[u] + len(nbrs)
+        rows.extend(nbrs)
+    return indptr, np.asarray(rows, dtype=np.int64)
+
+
+class TestLubyCsrEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1, 7])
+    @pytest.mark.parametrize("p", [0.05, 0.3])
+    def test_arrays_match_dict_runner(self, seed, p):
+        adj = random_adjacency(60, p, seed)
+        indptr, indices = to_csr(adj)
+        dict_run = run_luby_mis(adj, seed=seed)
+        csr_run = run_luby_mis_arrays(indptr, indices, seed=seed)
+        assert csr_run.independent_set == dict_run.independent_set
+        assert csr_run.engine_rounds == dict_run.engine_rounds
+        assert csr_run.messages == dict_run.messages
+
+    @pytest.mark.parametrize("seed", [2, 5])
+    def test_scalar_engine_matches_batch_on_csr_topology(self, seed):
+        """The CSR-native batch run bills exactly what the per-node
+        scalar reference bills on the same array topology."""
+        indptr, indices = to_csr(random_adjacency(40, 0.2, seed))
+        runs = {}
+        for engine in ("scalar", "batch"):
+            net = SynchronousNetwork((indptr, indices))
+            runs[engine] = net.run(LubyMIS(seed=seed), engine=engine)
+        assert runs["scalar"].rounds == runs["batch"].rounds
+        assert runs["scalar"].messages == runs["batch"].messages
+        assert runs["scalar"].words == runs["batch"].words
+        assert list(runs["scalar"].outputs.items()) == list(
+            runs["batch"].outputs.items()
+        )
+
+    def test_empty_and_isolated(self):
+        empty = run_luby_mis_arrays(
+            np.zeros(1, dtype=np.int64), np.empty(0, dtype=np.int64)
+        )
+        assert empty.independent_set == frozenset()
+        iso = run_luby_mis_arrays(
+            np.zeros(4, dtype=np.int64), np.empty(0, dtype=np.int64)
+        )
+        assert iso.independent_set == frozenset({0, 1, 2})
+
+
+class TestVerifyMisArrays:
+    def test_accepts_valid(self):
+        indptr, indices = to_csr({0: {1}, 1: {0, 2}, 2: {1}})
+        verify_mis_arrays(indptr, indices, np.array([True, False, True]))
+
+    def test_rejects_dependent(self):
+        indptr, indices = to_csr({0: {1}, 1: {0}})
+        with pytest.raises(ProtocolError, match="independent"):
+            verify_mis_arrays(indptr, indices, np.array([True, True]))
+
+    def test_rejects_non_maximal(self):
+        indptr, indices = to_csr({0: {1}, 1: {0}, 2: set()})
+        with pytest.raises(ProtocolError, match="maximal"):
+            verify_mis_arrays(
+                indptr, indices, np.array([True, False, False])
+            )
+
+
+class TestEngineCsrTopology:
+    def test_rejects_self_loop(self):
+        indptr = np.array([0, 1, 2], dtype=np.int64)
+        indices = np.array([0, 0], dtype=np.int64)
+        with pytest.raises(ProtocolError, match="self-loop"):
+            SynchronousNetwork((indptr, indices))
+
+    def test_rejects_asymmetric(self):
+        indptr = np.array([0, 1, 1], dtype=np.int64)
+        indices = np.array([1], dtype=np.int64)
+        with pytest.raises(ProtocolError, match="symmetric"):
+            SynchronousNetwork((indptr, indices))
+
+    def test_rejects_unsorted_rows(self):
+        indptr = np.array([0, 2, 3, 4], dtype=np.int64)
+        indices = np.array([2, 1, 0, 0], dtype=np.int64)
+        with pytest.raises(ProtocolError, match="ascending"):
+            SynchronousNetwork((indptr, indices))
+
+    def test_nodes_and_scalar_adjacency(self):
+        indptr, indices = to_csr({0: {1}, 1: {0, 2}, 2: {1}})
+        net = SynchronousNetwork((indptr, indices))
+        assert net.nodes == [0, 1, 2]
+        assert net._scalar_adj()[1] == (0, 2)
+
+
+class TestProximityGraphCsr:
+    def test_build_matches_dict_reference(self):
+        """The CSR proximity graph equals the dict-of-sets reference
+        derived from the same pairwise distances."""
+        wl = make_workload("uniform", 120, seed=9)
+        params = SpannerParams.from_epsilon(0.5)
+        builder = DistributedRelaxedGreedy(params, seed=0)
+        spanner = builder.build(wl.graph, wl.points.distance).spanner
+        from repro.graphs.paths import dijkstra
+
+        for radius in (0.05, 0.15):
+            indptr, indices = builder._proximity_graph(spanner, radius)
+            n = spanner.num_vertices
+            assert indptr.size == n + 1
+            reference = {
+                u: {
+                    v
+                    for v, d in dijkstra(spanner, u, cutoff=radius).items()
+                    if v != u
+                }
+                for u in range(n)
+            }
+            for u in range(n):
+                row = indices[indptr[u] : indptr[u + 1]]
+                assert (np.diff(row) > 0).all() or row.size <= 1
+                assert set(row.tolist()) == reference[u]

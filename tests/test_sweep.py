@@ -77,3 +77,135 @@ class TestSweepCli:
         )
         assert code == 0
         assert json.loads(out.read_text())["num_cells"] == 1
+
+
+class TestExperimentCells:
+    def test_experiment_cell_row_shape(self):
+        from repro.experiments.sweep import run_experiment_cell
+
+        row = run_experiment_cell("E1", "uniform", 48, 0)
+        assert row["experiment"] == "E1" and row["scenario"] == "uniform"
+        assert row["n"] == 48 and row["seed"] == 0
+        assert row["passed"] and row["rows"] == 4  # one row per epsilon
+        assert row["wall_s"] > 0 and row["stretch"] > 1.0
+
+    def test_body_without_scenario_override_still_runs(self):
+        from repro.experiments.sweep import run_experiment_cell
+
+        # X1 samples its own point process (sizes-only override).
+        row = run_experiment_cell("X1", "uniform", 48, 0)
+        assert row["experiment"] == "X1" and row["passed"]
+
+    def test_experiment_grid_order_and_summary(self):
+        report = run_sweep(
+            ["uniform"], [48], [0], jobs=1, experiments=["E1", "E9"]
+        )
+        assert report["experiments"] == ["E1", "E9"]
+        assert [r["experiment"] for r in report["cells"]] == ["E1", "E9"]
+        assert report["summary"]["uniform"]["cells"] == 2
+        assert report["passed"]
+
+
+class TestDiffReports:
+    def _report(self, stretch, extra_cell=False):
+        cells = [
+            {
+                "experiment": "E1", "scenario": "uniform", "n": 48,
+                "seed": 0, "passed": True, "stretch": stretch,
+                "wall_s": 0.5,
+            }
+        ]
+        if extra_cell:
+            cells.append(
+                {
+                    "experiment": "E9", "scenario": "ring", "n": 48,
+                    "seed": 0, "passed": True, "energy_stretch": 1.0,
+                }
+            )
+        return {"cells": cells}
+
+    def test_changed_metrics_reported(self):
+        from repro.experiments.sweep import diff_reports
+
+        delta = diff_reports(self._report(1.4), self._report(1.5))
+        assert len(delta["changed"]) == 1
+        entry = delta["changed"][0]
+        assert entry["metric"] == "stretch"
+        assert entry["old"] == 1.4 and entry["new"] == 1.5
+        assert abs(entry["delta"] - 0.1) < 1e-12
+        assert entry["experiment"] == "E1"
+
+    def test_wall_clocks_and_identical_metrics_skipped(self):
+        from repro.experiments.sweep import diff_reports
+
+        old = self._report(1.4)
+        new = self._report(1.4)
+        new["cells"][0]["wall_s"] = 99.0  # _s columns never diff
+        assert diff_reports(old, new)["changed"] == []
+
+    def test_disappeared_metric_reported(self):
+        from repro.experiments.sweep import diff_reports
+
+        old = self._report(1.4)
+        new = self._report(1.4)
+        del new["cells"][0]["stretch"]  # metric vanished from the run
+        delta = diff_reports(old, new)
+        assert len(delta["changed"]) == 1
+        entry = delta["changed"][0]
+        assert entry["metric"] == "stretch"
+        assert entry["old"] == 1.4 and entry["new"] is None
+        assert entry["delta"] is None
+
+    def test_added_and_removed_cells(self):
+        from repro.experiments.sweep import diff_reports
+
+        delta = diff_reports(
+            self._report(1.4), self._report(1.4, extra_cell=True)
+        )
+        assert delta["added"] == [["E9", "ring", 48, 0]]
+        assert delta["removed"] == []
+
+
+class TestExperimentSweepCli:
+    def test_experiments_flag_and_diff(self, tmp_path, capsys):
+        out_a = tmp_path / "a.json"
+        out_b = tmp_path / "b.json"
+        base = [
+            "--experiments", "e9",  # lowercase id normalized
+            "--scenarios", "uniform",
+            "--sizes", "48",
+            "--seeds", "0",
+        ]
+        assert main(base + ["--output", str(out_a)]) == 0
+        report = json.loads(out_a.read_text())
+        assert report["experiments"] == ["E9"]
+        assert report["cells"][0]["experiment"] == "E9"
+        capsys.readouterr()
+        code = main(
+            base + ["--output", str(out_b), "--diff", str(out_a)]
+        )
+        assert code == 0
+        assert "diff vs" in capsys.readouterr().out
+
+    def test_unknown_experiment_rejected(self, capsys):
+        code = main(["--experiments", "E99", "--output", ""])
+        assert code == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_repro_sweep_experiments_subcommand(self, tmp_path):
+        out = tmp_path / "sweep.json"
+        code = cli_main(
+            [
+                "sweep",
+                "--experiments", "E1",
+                "--scenarios", "ring",
+                "--sizes", "48",
+                "--seeds", "0",
+                "--output", str(out),
+            ]
+        )
+        assert code == 0
+        report = json.loads(out.read_text())
+        assert report["num_cells"] == 1
+        assert report["cells"][0]["experiment"] == "E1"
+        assert report["cells"][0]["scenario"] == "ring"

@@ -1,0 +1,10 @@
+"""E11 bench: regenerate the unreliable-network degradation table."""
+
+
+def test_e11_chaos_table(run_experiment):
+    result = run_experiment("E11")
+    by_fault = {row["fault"]: row for row in result.rows}
+    # The anchor row must have reproduced the synchronous tier exactly.
+    assert by_fault["reliable"]["sync_equal"] is True
+    for row in result.rows:
+        assert row["stretch_ok"]

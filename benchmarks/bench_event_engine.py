@@ -1,0 +1,100 @@
+"""Event-tier benches: zero-fault anchoring cost and chaos overhead.
+
+ISSUE 6 acceptance: the discrete-event tier under a zero-fault unit-
+latency plan must reproduce the synchronous scalar tier's ``RunResult``
+exactly (that equality is asserted here before any timing is recorded),
+and hardened runs under loss must terminate in bounded wall time.  The
+measurements land in the ``results/bench`` trajectory store; with
+``REPRO_BENCH_GATE=1`` a >2x slowdown against the stored median fails
+the bench.
+
+Run with ``-s`` to see the recorded numbers::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_event_engine.py -s
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.distributed import (
+    EventNetwork,
+    FaultPlan,
+    LubyMIS,
+    SynchronousNetwork,
+    run_luby_mis_event,
+)
+from repro.geometry.sampling import uniform_points
+from repro.graphs.build import build_udg
+
+
+def _graph(n: int, expected_degree: float = 12.0):
+    points = uniform_points(n, seed=6000 + n, expected_degree=expected_degree)
+    return build_udg(points)
+
+
+def test_event_tier_zero_fault_anchor(benchmark, bench_gate):
+    """n=1000 Luby: event tier == scalar tier, overhead tracked."""
+    n = 1000
+    graph = _graph(n)
+    protocol = LubyMIS(seed=11)
+
+    t0 = time.perf_counter()
+    sync = SynchronousNetwork(graph).run(protocol, engine="scalar")
+    sync_s = time.perf_counter() - t0
+
+    event = benchmark.pedantic(
+        lambda: EventNetwork(graph).run_sync(protocol),
+        rounds=1, iterations=1,
+    )
+    event_s = benchmark.stats.stats.mean
+
+    assert event == sync  # the anchor: bit-equal RunResult
+    overhead = event_s / sync_s if sync_s > 0 else float("inf")
+    print(
+        f"\nevent-anchor n={n}: sync {sync_s:.3f}s, event {event_s:.3f}s, "
+        f"overhead {overhead:.1f}x, rounds={event.rounds}"
+    )
+    bench_gate(
+        "event-engine-anchor",
+        {
+            "n": n,
+            "sync_s": sync_s,
+            "wall_s": event_s,
+            "overhead": overhead,
+            "rounds": event.rounds,
+            "messages": event.messages,
+        },
+    )
+
+
+def test_event_tier_chaos_terminates(benchmark, bench_gate):
+    """n=500 hardened Luby under drop+crash: valid MIS, bounded time."""
+    n = 500
+    graph = _graph(n)
+    plan = FaultPlan(seed=9, drop_rate=0.1, crash_rate=0.02, jitter=0.3)
+
+    run = benchmark.pedantic(
+        lambda: run_luby_mis_event(graph, seed=11, plan=plan),
+        rounds=1, iterations=1,
+    )
+    wall_s = benchmark.stats.stats.mean
+
+    assert run.independent_set  # verified MIS of the alive subgraph
+    assert run.result.retransmissions > 0
+    print(
+        f"\nevent-chaos n={n}: {wall_s:.3f}s, "
+        f"retrans={run.result.retransmissions}, "
+        f"dropped={run.result.dropped}, crashed={len(run.result.crashed)}"
+    )
+    bench_gate(
+        "event-engine-chaos",
+        {
+            "n": n,
+            "wall_s": wall_s,
+            "retransmissions": run.result.retransmissions,
+            "dropped": run.result.dropped,
+            "crashed": len(run.result.crashed),
+            "recovery_rounds": run.result.recovery_rounds,
+        },
+    )

@@ -132,6 +132,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         "--sizes", args.sizes,
         "--seeds", args.seeds,
         "--experiments", args.experiments,
+        "--faults", args.faults,
         "--epsilon", str(args.epsilon),
         "--alpha", str(args.alpha),
         "--jobs", str(args.jobs),
@@ -216,6 +217,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--experiments", default="",
         help="experiment ids (e.g. E1,E4) to fan over the grid instead "
              "of build cells",
+    )
+    sweep.add_argument(
+        "--faults", default="",
+        help="failure scenario names (e.g. reliable,lossy,chaos) adding "
+             "a fault axis to experiment cells",
     )
     sweep.add_argument(
         "--diff", default="",

@@ -1,6 +1,7 @@
-"""Distributed substrate: two-tier synchronous engine (per-node scalar
-reference + all-nodes-at-once batch tier), protocols, and the Section 3
-distributed relaxed greedy algorithm."""
+"""Distributed substrate: three execution tiers (per-node scalar
+reference, all-nodes-at-once batch tier, and the discrete-event
+unreliable-network tier), protocols, and the Section 3 distributed
+relaxed greedy algorithm."""
 
 from .dist_spanner import DistributedRelaxedGreedy, DistributedSpannerResult
 from .engine import (
@@ -11,6 +12,16 @@ from .engine import (
     RunResult,
     SynchronousNetwork,
 )
+from .event_engine import (
+    Ctl,
+    EventNetwork,
+    EventNodeContext,
+    EventProtocol,
+    Multi,
+    Resend,
+    SimulationLimitError,
+)
+from .faults import FaultPlan
 from .ledger import LedgerEntry, RoundLedger
 from .local_views import (
     LocalView,
@@ -35,6 +46,17 @@ from .protocols import (
     tree_coloring_to_mis,
 )
 from .protocols.coloring import cv_rounds_needed
+from .protocols.reliable import HardenedProtocol, harden
+from .unreliable import (
+    EventBFSRun,
+    EventMISRun,
+    induced_csr,
+    repair_bfs,
+    repair_mis,
+    run_bfs_event,
+    run_luby_mis_event,
+    verify_bfs_tree,
+)
 
 __all__ = [
     "SynchronousNetwork",
@@ -64,4 +86,23 @@ __all__ = [
     "gather_local_view",
     "local_component_of_short_edges",
     "covered_decision_from_view",
+    # Unreliable-network tier
+    "FaultPlan",
+    "EventNetwork",
+    "EventProtocol",
+    "EventNodeContext",
+    "SimulationLimitError",
+    "Ctl",
+    "Resend",
+    "Multi",
+    "HardenedProtocol",
+    "harden",
+    "EventMISRun",
+    "EventBFSRun",
+    "run_luby_mis_event",
+    "run_bfs_event",
+    "repair_mis",
+    "repair_bfs",
+    "verify_bfs_tree",
+    "induced_csr",
 ]

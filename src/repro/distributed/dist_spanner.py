@@ -41,7 +41,8 @@ MIS draws) but the test-suite checks both against identical bounds.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from typing import Iterable
 
 import numpy as np
 
@@ -61,14 +62,17 @@ from ..graphs.graph import Graph
 from ..graphs.paths import (
     multi_source_ball_lists,
     multi_source_distances,
+    pair_distances,
     prefer_batched_sources,
     source_block_size,
 )
 from ..params import SpannerParams
 from .engine import SynchronousNetwork
+from .faults import FaultPlan
 from .ledger import RoundLedger
-from .mis import run_luby_mis, run_luby_mis_arrays
+from .mis import _normalize, run_luby_mis, run_luby_mis_arrays
 from .protocols.flooding import KHopGather
+from .unreliable import induced_csr, run_luby_mis_event
 
 __all__ = ["DistributedSpannerResult", "DistributedRelaxedGreedy"]
 
@@ -92,6 +96,16 @@ class DistributedSpannerResult:
         Bin count ``m``; scheduled phases are ``m + 1``.
     mis_invocations:
         Number of protocol-backed MIS runs.
+    crashed:
+        Nodes down when the build finished (fault-plan builds only;
+        recovered nodes are *not* listed -- they rejoined the network).
+    retransmissions / recovery_rounds:
+        Totals over every event-tier protocol run of the build.
+    repair_edges:
+        Base edges reinstated by the final stretch re-certification
+        sweep after crashes severed spanner paths.
+    final_time:
+        Event-simulation clock when the last protocol run drained.
     """
 
     spanner: Graph
@@ -100,6 +114,11 @@ class DistributedSpannerResult:
     phases: list[PhaseReport] = field(default_factory=list)
     num_bins: int = 0
     mis_invocations: int = 0
+    crashed: tuple = ()
+    retransmissions: int = 0
+    recovery_rounds: int = 0
+    repair_edges: int = 0
+    final_time: float = 0.0
 
     @property
     def total_rounds(self) -> int:
@@ -128,6 +147,16 @@ class DistributedRelaxedGreedy:
         edges for the phase's hop radius) so the ledger carries measured
         message counts for the gather term too, not just for the MIS
         protocols.  Costs a KHopGather engine run per phase; default off.
+    fault_plan:
+        When set, every MIS invocation runs on the *event tier*
+        (:mod:`repro.distributed.unreliable`) under this plan, sharing
+        one crash timeline across phases: the simulation clock advances
+        run by run, nodes down at a phase's start are excluded from its
+        proximity graph and bin edges, crashed nodes' spanner edges are
+        pruned, their clusters re-covered by promoted centers, and a
+        final re-certification sweep restores the stretch bound on the
+        surviving subgraph.  A zero-fault plan reproduces the default
+        build exactly (pinned by the test-suite).
     """
 
     def __init__(
@@ -137,11 +166,14 @@ class DistributedRelaxedGreedy:
         seed: int = 0,
         process_empty_phases: bool = False,
         measure_gather_messages: bool = False,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         self.params = params
         self._seed = seed
         self._process_empty = process_empty_phases
         self._measure_gather = measure_gather_messages
+        self._fault_plan = fault_plan
+        self._clock = 0.0
 
     # ------------------------------------------------------------------
     def build(
@@ -158,6 +190,7 @@ class DistributedRelaxedGreedy:
         result = DistributedSpannerResult(
             spanner=Graph(n), params=params, ledger=ledger
         )
+        self._clock = 0.0
         if n == 0:
             return result
         max_len = graph.max_edge_weight()
@@ -184,8 +217,74 @@ class DistributedRelaxedGreedy:
             if report is not None:
                 result.phases.append(report)
 
+        if self._fault_plan is not None:
+            self._finalize_faults(graph, spanner, result)
         result.spanner = spanner
         return result
+
+    # ------------------------------------------------------------------
+    # Fault-plan machinery (event-tier builds)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _prune_dead(spanner: Graph, dead: set[int]) -> None:
+        """Drop every spanner edge incident to a crashed node -- its
+        links are gone until (and unless) the final repair sweep finds
+        the stretch bound needs them back."""
+        for u in dead:
+            for v in list(spanner.neighbors(u)):
+                spanner.remove_edge(u, v)
+
+    def _finalize_faults(
+        self, graph: Graph, spanner: Graph, result: DistributedSpannerResult
+    ) -> None:
+        """Close the fault timeline: prune nodes still down, then
+        re-certify the stretch bound on the surviving subgraph.
+
+        One ``pair_distances`` sweep over alive-alive base edges suffices
+        -- every reinstated edge has stretch 1, so a single pass restores
+        ``sp(u, v) <= t * w`` for all surviving base edges (the invariant
+        E11 and the hardening tests verify).
+        """
+        plan = self._fault_plan
+        n = graph.num_vertices
+        dead = {u for u in range(n) if plan.dead_at(u, self._clock)}
+        self._prune_dead(spanner, dead)
+        result.crashed = tuple(sorted(dead))
+        result.final_time = self._clock
+        ever_crashed = any(
+            sched is not None and sched[0] <= self._clock
+            for sched in (plan.crash_schedule(u) for u in range(n))
+        )
+        if not ever_crashed:
+            return
+        us, vs, ws = graph.edges_arrays()
+        if us.size == 0:
+            return
+        dead_mask = np.zeros(n, dtype=bool)
+        if dead:
+            dead_mask[sorted(dead)] = True
+        sel = ~dead_mask[us] & ~dead_mask[vs]
+        us, vs, ws = us[sel], vs[sel], ws[sel]
+        if us.size == 0:
+            return
+        t = self.params.t
+        cutoff = t * float(ws.max()) * (1.0 + 1e-6)
+        sp = pair_distances(spanner, us, vs, cutoff=cutoff)
+        violated = np.flatnonzero(sp > t * ws * (1.0 + 1e-9))
+        for i in violated:
+            spanner.add_edge(int(us[i]), int(vs[i]), float(ws[i]))
+        result.repair_edges = int(violated.size)
+        if result.repair_edges:
+            result.ledger.charge(
+                result.num_bins + 1,
+                "repair.certify",
+                1,
+                messages=2 * result.repair_edges,
+                detail=(
+                    f"{result.repair_edges} base edges reinstated on the "
+                    "surviving subgraph"
+                ),
+            )
 
     # ------------------------------------------------------------------
     def _phase_zero(
@@ -293,6 +392,95 @@ class DistributedRelaxedGreedy:
         )
         return indptr, keys % np.int64(n)
 
+    def _cover_mis_event(
+        self,
+        plan: FaultPlan,
+        prox_indptr: np.ndarray,
+        prox_indices: np.ndarray,
+        dead: set[int],
+        index: int,
+        k_cluster: int,
+        spanner: Graph,
+        radius: float,
+        ledger: RoundLedger,
+        result: DistributedSpannerResult,
+    ) -> tuple[list[int], set[int]]:
+        """Cover MIS on the event tier under ``plan``.
+
+        Induces ``J`` on the currently-alive nodes, runs the hardened
+        Luby protocol from the shared simulation clock, absorbs crashes
+        that happened mid-run (pruning their spanner edges), and promotes
+        replacement centers for alive nodes the crashes left uncovered --
+        the promotion is a local O(1)-round operation charged to the
+        ledger as ``cover.recover``.  Returns the final center list and
+        the updated dead set.
+        """
+        n = prox_indptr.size - 1
+        alive_mask = np.ones(n, dtype=bool)
+        if dead:
+            alive_mask[sorted(dead)] = False
+        sub_indptr, sub_indices, labels = induced_csr(
+            prox_indptr, prox_indices, alive_mask
+        )
+        run = run_luby_mis_event(
+            (sub_indptr, sub_indices),
+            seed=self._seed * 1_000_003 + index,
+            plan=plan,
+            fault_labels={i: int(u) for i, u in enumerate(labels)},
+            t0=self._clock,
+        )
+        self._clock = run.t_end
+        result.mis_invocations += 1
+        result.retransmissions += run.result.retransmissions
+        result.recovery_rounds += run.result.recovery_rounds
+        ledger.charge(
+            index,
+            "cover.mis",
+            run.result.rounds * k_cluster,
+            messages=run.result.messages,
+            detail=(
+                f"{run.result.rounds} hardened J-epochs x {k_cluster} hop "
+                f"factor, {run.result.retransmissions} retransmissions"
+            ),
+        )
+        alive_now = {int(labels[c]) for c in run.alive}
+        newly_dead = set(map(int, labels)) - alive_now
+        if newly_dead:
+            dead = dead | newly_dead
+            self._prune_dead(spanner, newly_dead)
+        centers = sorted(int(labels[c]) for c in run.independent_set)
+
+        # Mid-run crashes may have severed the paths that certified some
+        # nodes' coverage: promote each still-uncovered alive node to a
+        # center, in ascending id order (promoted centers stay pairwise
+        # > radius apart because each promotion covers its whole ball).
+        covered: set[int] = set()
+        if centers:
+            _, ball_v, _ = multi_source_ball_lists(
+                spanner, np.asarray(centers, dtype=np.int64), radius
+            )
+            covered = set(map(int, ball_v))
+        promoted: list[int] = []
+        for u in range(n):
+            if u in dead or u in covered:
+                continue
+            promoted.append(u)
+            _, ball_v, _ = multi_source_ball_lists(
+                spanner, np.asarray([u], dtype=np.int64), radius
+            )
+            covered.update(map(int, ball_v))
+        if promoted:
+            centers = sorted(centers + promoted)
+            result.recovery_rounds += 1
+            ledger.charge(
+                index,
+                "cover.recover",
+                k_cluster,
+                messages=len(promoted),
+                detail=f"{len(promoted)} centers promoted after crashes",
+            )
+        return centers, dead
+
     def _phase(
         self,
         graph: Graph,
@@ -313,6 +501,16 @@ class DistributedRelaxedGreedy:
         k_cluster = params.cluster_hop_bound(index, n)
         k_graph = params.cluster_graph_hop_bound(index, n)
         k_query = params.query_hop_bound()
+
+        plan = self._fault_plan
+        dead: set[int] = set()
+        if plan is not None:
+            dead = {u for u in range(n) if plan.dead_at(u, self._clock)}
+            self._prune_dead(spanner, dead)
+            if len(dead) == n:
+                return PhaseReport(
+                    index=index, w_prev=w_prev, w_cur=w_cur, num_bin_edges=0
+                )
 
         # ---- Step (i): cluster cover via MIS of J (Theorem 16) -------
         prox_indptr, prox_indices = self._proximity_graph(spanner, radius)
@@ -344,23 +542,44 @@ class DistributedRelaxedGreedy:
                 k_cluster,
                 detail=f"G' within {k_cluster} hops",
             )
-        mis_run = run_luby_mis_arrays(
-            prox_indptr, prox_indices, seed=self._seed * 1_000_003 + index
-        )
-        result.mis_invocations += 1
-        ledger.charge(
-            index,
-            "cover.mis",
-            mis_run.engine_rounds * k_cluster,
-            messages=mis_run.messages,
-            detail=(
-                f"{mis_run.engine_rounds} J-rounds x {k_cluster} hop factor"
-            ),
-        )
+        if plan is None:
+            mis_run = run_luby_mis_arrays(
+                prox_indptr, prox_indices, seed=self._seed * 1_000_003 + index
+            )
+            result.mis_invocations += 1
+            ledger.charge(
+                index,
+                "cover.mis",
+                mis_run.engine_rounds * k_cluster,
+                messages=mis_run.messages,
+                detail=(
+                    f"{mis_run.engine_rounds} J-rounds x {k_cluster} "
+                    "hop factor"
+                ),
+            )
+            centers: Iterable[int] = mis_run.independent_set
+            universe: list[int] | None = None
+        else:
+            centers, dead = self._cover_mis_event(
+                plan, prox_indptr, prox_indices, dead, index,
+                k_cluster, spanner, radius, ledger, result,
+            )
+            universe = [u for u in range(n) if u not in dead]
+            if not universe:
+                return PhaseReport(
+                    index=index, w_prev=w_prev, w_cur=w_cur, num_bin_edges=0
+                )
         cover = cover_from_centers(
-            spanner, radius, mis_run.independent_set
+            spanner, radius, centers, vertices=universe
         )
         ledger.charge(index, "cover.attach", k_cluster, detail="join center")
+
+        if dead and bin_edges:
+            # Crashed endpoints take their pending bin edges with them.
+            bin_edges = [
+                e for e in bin_edges
+                if e[0] not in dead and e[1] not in dead
+            ]
 
         if not bin_edges:
             # Scheduled-but-empty phase: only the cover schedule ran.
@@ -416,20 +635,44 @@ class DistributedRelaxedGreedy:
         conflict = build_conflict_graph(pairs)
         removed: list[tuple[int, int, float]] = []
         if conflict:
-            mis2 = run_luby_mis(
-                conflict, seed=self._seed * 2_000_003 + index
-            )
+            if plan is None:
+                mis2 = run_luby_mis(
+                    conflict, seed=self._seed * 2_000_003 + index
+                )
+                keep = mis2.independent_set
+                mis2_rounds, mis2_messages = mis2.engine_rounds, mis2.messages
+            else:
+                # Conflict-graph nodes are *edges* hosted by alive cluster
+                # heads: they suffer the plan's link faults but cannot
+                # crash (a dead host already removed its edges above).
+                relabeled, back = _normalize(conflict)
+                vplan = replace(
+                    plan,
+                    crash_rate=0.0,
+                    seed=plan.seed * 1_000_003 + 17,
+                )
+                vrun = run_luby_mis_event(
+                    relabeled,
+                    seed=self._seed * 2_000_003 + index,
+                    plan=vplan,
+                    t0=self._clock,
+                )
+                self._clock = vrun.t_end
+                result.retransmissions += vrun.result.retransmissions
+                result.recovery_rounds += vrun.result.recovery_rounds
+                keep = frozenset(back[u] for u in vrun.independent_set)
+                mis2_rounds = vrun.result.rounds
+                mis2_messages = vrun.result.messages
             result.mis_invocations += 1
             ledger.charge(
                 index,
                 "redundant.mis",
-                mis2.engine_rounds * k_query,
-                messages=mis2.messages,
+                mis2_rounds * k_query,
+                messages=mis2_messages,
                 detail=(
-                    f"{mis2.engine_rounds} J-rounds x {k_query} hop factor"
+                    f"{mis2_rounds} J-rounds x {k_query} hop factor"
                 ),
             )
-            keep = mis2.independent_set
             for u, v, w in added:
                 key = (u, v) if u < v else (v, u)
                 if key in conflict and key not in keep:

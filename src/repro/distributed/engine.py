@@ -276,12 +276,31 @@ class RunResult:
     outputs:
         ``node -> protocol output``; insertion order is ascending node id
         on both execution tiers (deterministic for downstream iteration).
+    retransmissions:
+        Reliable-delivery resends (event tier only; the synchronous
+        tiers never retransmit, so their value is 0 and equality pins
+        between tiers stay exact).
+    control_messages:
+        Protocol-overhead messages -- acks, safe markers, probes -- sent
+        by hardened protocols on the event tier.
+    dropped:
+        Transmissions lost to the fault plan or to a dead receiver.
+    recovery_rounds:
+        Extra rounds charged by runner-level repair sweeps (re-covering
+        crashed nodes' clusters, re-attaching orphaned tree nodes).
+    crashed:
+        Node ids dead when the run ended (event tier only).
     """
 
     rounds: int
     messages: int
     words: int
     outputs: dict[int, Any]
+    retransmissions: int = 0
+    control_messages: int = 0
+    dropped: int = 0
+    recovery_rounds: int = 0
+    crashed: tuple = ()
 
 
 class SynchronousNetwork:
@@ -362,14 +381,21 @@ class SynchronousNetwork:
             if indices.min() < 0 or indices.max() >= n:
                 raise ProtocolError(f"CSR neighbor id out of range [0, {n})")
             owners = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
-            if (indices == owners).any():
-                u = int(owners[int(np.argmax(indices == owners))])
-                raise ProtocolError(f"self-loop at {u} in topology")
+            loops = indices == owners
+            if loops.any():
+                slot = int(np.argmax(loops))
+                raise ProtocolError(
+                    f"self-loop at {int(owners[slot])} in topology "
+                    f"(CSR slot {slot})"
+                )
             keys = owners * n + indices
-            if (np.diff(keys) <= 0).any():
+            bad = np.diff(keys) <= 0
+            if bad.any():
+                slot = int(np.argmax(bad)) + 1
                 raise ProtocolError(
                     "CSR rows must be strictly ascending (sorted, no "
-                    "duplicate neighbors)"
+                    f"duplicate neighbors); first violation at slot {slot} "
+                    f"(node {int(owners[slot])} -> {int(indices[slot])})"
                 )
         return indptr, indices
 
@@ -437,10 +463,13 @@ class SynchronousNetwork:
             if self._csr_topology is not None and key_fwd.size:
                 # Graph/mapping topologies are symmetric by construction;
                 # caller-supplied CSR arrays must prove it.
-                if not np.array_equal(key_fwd[rev], key_rev):
+                mismatch = key_fwd[rev] != key_rev
+                if mismatch.any():
+                    slot = int(np.argmax(mismatch))
                     raise ProtocolError(
-                        "CSR topology is not symmetric: some directed "
-                        "slot has no reverse edge"
+                        f"CSR topology is not symmetric: slot {slot} "
+                        f"({int(sources[slot])} -> {int(indices[slot])}) "
+                        "has no reverse edge"
                     )
             self._batch_ctx_arrays = (labels, indptr, indices, rev)
         return self._batch_ctx_arrays

@@ -1,0 +1,479 @@
+"""Discrete-event execution tier: asynchronous message passing under a
+:class:`~repro.distributed.faults.FaultPlan`.
+
+This is the third engine beside the synchronous scalar and batch tiers of
+:mod:`repro.distributed.engine`.  Messages travel through a priority
+queue with per-edge latencies; nodes compute when something *happens* to
+them (a delivery, a timer, a crash or recovery) instead of on a global
+clock.  All randomness -- latencies, drops, crash times, clock drift --
+comes from the plan's counter-based hash, so a run is bit-reproducible
+from ``(topology, protocol, plan)`` alone.
+
+Anchoring contract (pinned by the test-suite): under a zero-fault plan
+with uniform unit latency, :meth:`EventNetwork.run_sync` executes any
+synchronous :class:`~repro.distributed.engine.Protocol` with a
+:class:`RunResult` *equal* to the synchronous scalar tier's -- same
+rounds, messages, words, and outputs.  The adapter drives each node with
+a unit-period tick timer and hands every tick the messages that arrived
+since the previous one; with unit latency and no loss that is exactly
+the synchronous schedule.
+
+Event-native protocols subclass :class:`EventProtocol` and react to
+deliveries and timers directly (see
+:mod:`repro.distributed.protocols.reliable` for the hardened wrapper
+that makes synchronous protocols survive loss and crashes here).
+
+Accounting: ``RunResult.messages``/``words`` count first-transmission
+*data* sends exactly like the synchronous tier.  Protocol overhead is
+kept apart so degradation is measurable: payloads wrapped in
+:class:`Ctl` bill to ``control_messages`` (acks, safe markers, probes),
+payloads wrapped in :class:`Resend` bill to ``retransmissions``, and
+transmissions lost to the fault plan or to a dead receiver bill to
+``dropped``.  ``rounds`` counts *active epochs*: distinct timestamps at
+which at least one live, unhalted node computed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Mapping
+
+from ..exceptions import ProtocolError, SimulationLimitError
+from .engine import Protocol, RunResult, SynchronousNetwork
+from .faults import FaultPlan
+from .messages import payload_words
+
+__all__ = [
+    "Ctl",
+    "Resend",
+    "Multi",
+    "EventNodeContext",
+    "EventProtocol",
+    "EventNetwork",
+]
+
+# Same-timestamp processing order: crashes happen first (a node that dies
+# at t does not see t's mail), recoveries next, then deliveries, then
+# timers (a tick at t reads messages that arrived at exactly t).
+_P_CRASH, _P_RECOVER, _P_DELIVER, _P_TIMER = range(4)
+
+
+class Ctl:
+    """Outbox wrapper: bill this payload as control overhead."""
+
+    __slots__ = ("payload",)
+
+    def __init__(self, payload: Any) -> None:
+        self.payload = payload
+
+
+class Resend:
+    """Outbox wrapper: bill this payload as a retransmission."""
+
+    __slots__ = ("payload",)
+
+    def __init__(self, payload: Any) -> None:
+        self.payload = payload
+
+
+class Multi:
+    """Outbox wrapper bundling several payloads to one neighbor in a
+    single outbox slot (the asynchronous tier has no one-message-per-
+    neighbor-per-round restriction)."""
+
+    __slots__ = ("items",)
+
+    def __init__(self, items: Any) -> None:
+        self.items = tuple(items)
+
+
+class EventNodeContext:
+    """Per-node context of the event tier.
+
+    Attribute-compatible with :class:`~repro.distributed.engine.
+    NodeContext` (``node``, ``neighbors``, ``state``, ``halted``,
+    ``halt()``), so synchronous protocol code runs on it unchanged, plus:
+
+    ``alive``
+        Cleared while the node is crashed (engine-managed).
+    ``set_timer(delay, key)``
+        Schedule an :meth:`EventProtocol.on_timer` callback ``delay``
+        *local-clock* units from now (the plan's drift scales it).
+    """
+
+    __slots__ = ("node", "neighbors", "state", "halted", "alive", "_engine")
+
+    def __init__(
+        self, node: int, neighbors: tuple[int, ...], engine: "EventNetwork"
+    ) -> None:
+        self.node = node
+        self.neighbors = neighbors
+        self.state: dict[str, Any] = {}
+        self.halted = False
+        self.alive = True
+        self._engine = engine
+
+    def halt(self) -> None:
+        """Mark this node as finished."""
+        self.halted = True
+
+    def set_timer(self, delay: float, key: Any = None) -> None:
+        """Request an ``on_timer(ctx, now, key)`` wake-up."""
+        self._engine._set_timer(self.node, delay, key)
+
+
+class EventProtocol:
+    """Base class for event-driven protocols.
+
+    Every hook may return an outbox ``{neighbor: payload}`` (or ``None``
+    for silence); wrap payloads in :class:`Ctl`/:class:`Resend` for
+    overhead accounting and in :class:`Multi` to send several messages to
+    one neighbor at once.
+    """
+
+    name = "event-protocol"
+
+    def on_start(self, ctx: EventNodeContext) -> Mapping[int, Any] | None:
+        """Time ``t0``: initialize state, optionally speak."""
+        return None
+
+    def on_deliver(
+        self,
+        ctx: EventNodeContext,
+        inbox: dict[int, list],
+        now: float,
+    ) -> Mapping[int, Any] | None:
+        """Messages arrived: ``inbox`` maps sender -> payloads, in
+        arrival order, batched per timestamp.  Called even on halted
+        nodes (so e.g. acking stays possible); never on crashed ones."""
+        return None
+
+    def on_timer(
+        self, ctx: EventNodeContext, now: float, key: Any
+    ) -> Mapping[int, Any] | None:
+        """A timer set via :meth:`EventNodeContext.set_timer` fired.
+        Not called on halted or crashed nodes."""
+        return None
+
+    def on_crash(self, ctx: EventNodeContext, now: float) -> None:
+        """The node just crashed (state is frozen; nothing may be sent)."""
+
+    def on_recover(
+        self, ctx: EventNodeContext, now: float
+    ) -> Mapping[int, Any] | None:
+        """The node came back up.  Timers scheduled before the crash were
+        lost; re-arm anything needed here."""
+        return None
+
+    def output(self, ctx: EventNodeContext) -> Any:
+        """Final per-node result (crashed nodes report frozen state)."""
+        return None
+
+
+class _SyncDriver(EventProtocol):
+    """Drives a synchronous :class:`Protocol` on the event tier.
+
+    Each live node ticks once per local-clock unit; a tick hands the
+    wrapped protocol's ``on_round`` everything that arrived since the
+    previous tick (latest message per sender, as in the synchronous
+    one-slot mailbox).  Under a zero-fault unit-latency plan this
+    reproduces the synchronous scalar tier's ``RunResult`` exactly; under
+    faults the wrapped protocol sees loss and silence exactly as an
+    unhardened protocol would.
+    """
+
+    def __init__(self, inner: Protocol) -> None:
+        self._inner = inner
+        self.name = f"event[{inner.name}]"
+
+    def on_start(self, ctx: EventNodeContext):
+        ctx.state["_stash"] = {}
+        out = self._inner.on_start(ctx)
+        if not ctx.halted:
+            ctx.set_timer(1.0, "tick")
+        return out
+
+    def on_deliver(self, ctx, inbox, now):
+        stash = ctx.state["_stash"]
+        for sender, items in inbox.items():
+            stash[sender] = items[-1]
+        return None
+
+    def on_timer(self, ctx, now, key):
+        inbox = ctx.state["_stash"]
+        ctx.state["_stash"] = {}
+        out = self._inner.on_round(ctx, inbox)
+        if not ctx.halted:
+            ctx.set_timer(1.0, "tick")
+        return out
+
+    def output(self, ctx):
+        return self._inner.output(ctx)
+
+
+class EventNetwork:
+    """Discrete-event message-passing engine.
+
+    Parameters
+    ----------
+    topology:
+        Any form :class:`~repro.distributed.engine.SynchronousNetwork`
+        accepts (Graph, adjacency mapping, or ``(indptr, indices)`` CSR
+        pair); validation is shared with the synchronous tiers.
+    plan:
+        The :class:`FaultPlan` adversary; default is the zero-fault
+        unit-latency plan.
+    fault_labels:
+        Optional ``node -> identity`` mapping used for the plan's draws.
+        When a run executes on a relabeled subgraph (e.g. the alive
+        subset of a larger network), passing original identities keeps
+        crash schedules and per-edge draws attached to the *same*
+        physical nodes across runs.
+    t0:
+        Starting global time.  Crash times are absolute, so consecutive
+        runs advancing ``t0`` share one crash timeline (a node whose
+        crash time has already passed starts the run dead).
+    max_time, max_events:
+        Hard budgets; exceeding either raises
+        :class:`SimulationLimitError`.
+    """
+
+    def __init__(
+        self,
+        topology,
+        *,
+        plan: FaultPlan | None = None,
+        fault_labels: Mapping[int, int] | None = None,
+        t0: float = 0.0,
+        max_time: float = 1_000_000.0,
+        max_events: int = 5_000_000,
+    ) -> None:
+        if max_time <= 0 or max_events < 1:
+            raise ProtocolError(
+                f"max_time/max_events must be positive, got "
+                f"{max_time}/{max_events}"
+            )
+        self._sync = SynchronousNetwork(topology)
+        self._plan = plan if plan is not None else FaultPlan()
+        self._fault_labels = fault_labels
+        self._t0 = float(t0)
+        self._max_time = float(max_time)
+        self._max_events = int(max_events)
+        self.final_time = self._t0
+
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> list[int]:
+        """Participating node ids, sorted."""
+        return self._sync.nodes
+
+    @property
+    def plan(self) -> FaultPlan:
+        return self._plan
+
+    def adjacency(self) -> dict[int, tuple[int, ...]]:
+        """``node -> neighbor tuple`` of the validated topology."""
+        return dict(self._sync._scalar_adj())
+
+    def _ident(self, u: int) -> int:
+        if self._fault_labels is None:
+            return u
+        return self._fault_labels[u]
+
+    # ------------------------------------------------------------------
+    # Scheduling primitives (used by dispatch and contexts)
+    # ------------------------------------------------------------------
+    def _push(self, entry: tuple) -> None:
+        heapq.heappush(self._heap, entry)
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def _set_timer(self, node: int, delay: float, key: Any) -> None:
+        if delay <= 0.0:
+            raise ProtocolError(
+                f"timer delay must be > 0, got {delay} at node {node}"
+            )
+        fire = self._now + delay / self._rates[node]
+        self._push((fire, _P_TIMER, self._next_seq(), node, key))
+
+    def _transmit(
+        self, sender: int, receiver: int, payload: Any, kind: str
+    ) -> None:
+        if kind == "data":
+            self._messages += 1
+            self._words += payload_words(payload)
+        elif kind == "ctl":
+            self._ctl += 1
+        else:
+            self._retrans += 1
+        counter = self._next_seq()
+        lu, lv = self._ident(sender), self._ident(receiver)
+        if self._plan.dropped(lu, lv, counter, self._now):
+            self._dropped += 1
+            return
+        at = self._now + self._plan.latency_of(lu, lv, counter)
+        self._push((at, _P_DELIVER, counter, sender, receiver, payload))
+
+    def _dispatch(
+        self, sender: int, outbox: Mapping[int, Any] | None
+    ) -> None:
+        if not outbox:
+            return
+        allowed = self._allowed[sender]
+        for receiver, value in outbox.items():
+            if receiver not in allowed:
+                raise ProtocolError(
+                    f"{self._proto_name}: node {sender} attempted to "
+                    f"message non-neighbor {receiver}"
+                )
+            items = value.items if isinstance(value, Multi) else (value,)
+            for item in items:
+                if isinstance(item, Resend):
+                    self._transmit(sender, receiver, item.payload, "resend")
+                elif isinstance(item, Ctl):
+                    self._transmit(sender, receiver, item.payload, "ctl")
+                else:
+                    self._transmit(sender, receiver, item, "data")
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run_sync(self, protocol: Protocol) -> RunResult:
+        """Run a synchronous :class:`Protocol` through the tick adapter
+        (see :class:`_SyncDriver`)."""
+        return self.run(_SyncDriver(protocol))
+
+    def run(self, protocol: EventProtocol) -> RunResult:
+        """Run ``protocol`` until the event queue drains."""
+        adj = self._sync._scalar_adj()
+        nodes = self.nodes
+        self._proto_name = getattr(protocol, "name", "event-protocol")
+        self._allowed = {u: frozenset(adj[u]) for u in nodes}
+        self._heap: list[tuple] = []
+        self._seq = 0
+        self._now = self._t0
+        self._messages = self._words = 0
+        self._retrans = self._ctl = self._dropped = 0
+        self._rates = {
+            u: self._plan.clock_rate(self._ident(u)) for u in nodes
+        }
+        contexts = {
+            u: EventNodeContext(u, adj[u], self) for u in nodes
+        }
+
+        # Crash timeline (absolute times; the past already happened).
+        for u in nodes:
+            sched = self._plan.crash_schedule(self._ident(u))
+            if sched is None:
+                continue
+            at, back = sched
+            if at <= self._t0:
+                if back is not None and back <= self._t0:
+                    continue  # crashed and recovered before this run
+                contexts[u].alive = False
+                if back is not None:
+                    self._push((back, _P_RECOVER, self._next_seq(), u))
+            else:
+                self._push((at, _P_CRASH, self._next_seq(), u))
+                if back is not None:
+                    self._push((back, _P_RECOVER, self._next_seq(), u))
+
+        sent_data_at_start = False
+        for u in nodes:
+            ctx = contexts[u]
+            if not ctx.alive:
+                continue
+            before = self._messages
+            self._dispatch(u, protocol.on_start(ctx))
+            sent_data_at_start |= self._messages > before
+        rounds = 1 if sent_data_at_start else 0
+
+        heap = self._heap
+        horizon = self._t0 + self._max_time
+        processed = 0
+        while heap:
+            t = heap[0][0]
+            if t > horizon:
+                raise SimulationLimitError(
+                    f"{self._proto_name}: exceeded max_time={self._max_time} "
+                    f"({len(heap)} events still queued)"
+                )
+            self._now = t
+            crashes: list[tuple] = []
+            recovers: list[tuple] = []
+            delivers: list[tuple] = []
+            timers: list[tuple] = []
+            while heap and heap[0][0] == t:
+                entry = heapq.heappop(heap)
+                processed += 1
+                if processed > self._max_events:
+                    raise SimulationLimitError(
+                        f"{self._proto_name}: exceeded "
+                        f"max_events={self._max_events} at t={t:.3f}"
+                    )
+                prio = entry[1]
+                if prio == _P_CRASH:
+                    crashes.append(entry)
+                elif prio == _P_RECOVER:
+                    recovers.append(entry)
+                elif prio == _P_DELIVER:
+                    delivers.append(entry)
+                else:
+                    timers.append(entry)
+
+            stepped = False
+            for entry in crashes:
+                ctx = contexts[entry[3]]
+                if ctx.alive:
+                    ctx.alive = False
+                    protocol.on_crash(ctx, t)
+            for entry in recovers:
+                ctx = contexts[entry[3]]
+                if not ctx.alive:
+                    ctx.alive = True
+                    if not ctx.halted:
+                        stepped = True
+                    self._dispatch(ctx.node, protocol.on_recover(ctx, t))
+
+            # Deliveries, grouped per receiver (arrival order within).
+            inboxes: dict[int, dict[int, list]] = {}
+            for entry in sorted(delivers, key=lambda e: (e[4], e[2])):
+                _, _, _, sender, receiver, payload = entry
+                if not contexts[receiver].alive:
+                    self._dropped += 1
+                    continue
+                inboxes.setdefault(receiver, {}).setdefault(
+                    sender, []
+                ).append(payload)
+            for receiver in sorted(inboxes):
+                ctx = contexts[receiver]
+                if not ctx.halted:
+                    stepped = True
+                self._dispatch(
+                    receiver, protocol.on_deliver(ctx, inboxes[receiver], t)
+                )
+
+            for entry in sorted(timers, key=lambda e: (e[3], e[2])):
+                ctx = contexts[entry[3]]
+                if not ctx.alive or ctx.halted:
+                    continue
+                stepped = True
+                self._dispatch(ctx.node, protocol.on_timer(ctx, t, entry[4]))
+
+            if stepped:
+                rounds += 1
+
+        self.final_time = self._now
+        crashed = tuple(u for u in nodes if not contexts[u].alive)
+        return RunResult(
+            rounds=rounds,
+            messages=self._messages,
+            words=self._words,
+            outputs={u: protocol.output(contexts[u]) for u in nodes},
+            retransmissions=self._retrans,
+            control_messages=self._ctl,
+            dropped=self._dropped,
+            crashed=crashed,
+        )

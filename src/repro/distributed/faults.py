@@ -1,0 +1,250 @@
+"""Composable fault plans for the event-driven execution tier.
+
+A :class:`FaultPlan` describes everything adversarial about the network a
+protocol runs on: i.i.d. and bursty message loss, node crash/recover
+schedules, link up/down flaps, per-edge latency jitter and per-node clock
+drift.  Every decision is a pure function of ``(seed, identifiers,
+counters)`` through the counter-based SplitMix64/Murmur3 hash of
+:mod:`repro.arrayops` -- the same family driving Luby priorities and the
+gray-zone policies -- so a run of :class:`repro.distributed.event_engine.
+EventNetwork` is bit-reproducible from its seed regardless of event
+ordering, platform, or how many times draws are evaluated.
+
+Draw streams are separated by mixing a small stream tag into the seed, so
+e.g. crash decisions never correlate with drop decisions.  Per-edge draws
+key on ``u * 2**21 + v`` (directed); node ids must stay below ``2**21``
+(~2M nodes), far above anything the experiments build.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any
+
+from ..arrayops import counter_uniform, seed_state
+from ..exceptions import ProtocolError
+
+__all__ = ["FaultPlan"]
+
+_NODE_SPAN = 1 << 21
+
+# Stream tags (mixed into the seed, one hash state per decision family).
+_T_CRASH, _T_CRASH_AT, _T_DROP, _T_BURST, _T_FLAP, _T_LAT, _T_DRIFT = range(7)
+
+
+def _edge_key(u: int, v: int) -> int:
+    if u >= _NODE_SPAN or v >= _NODE_SPAN:
+        raise ProtocolError(
+            f"FaultPlan edge draws support node ids < {_NODE_SPAN}, "
+            f"got ({u}, {v})"
+        )
+    return u * _NODE_SPAN + v
+
+
+def _link_key(u: int, v: int) -> int:
+    return _edge_key(u, v) if u <= v else _edge_key(v, u)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Deterministic adversary for one :class:`EventNetwork` run.
+
+    Parameters
+    ----------
+    seed:
+        Drives every random decision below (crash draws, drop draws,
+        latencies, drift).  Two plans differing only in seed describe the
+        same fault *intensity* over independent randomness.
+    drop_rate:
+        I.i.d. probability that any single transmission is lost.
+    burst_rate, burst_drop, burst_window:
+        Bursty loss: each undirected link independently enters a *burst*
+        during any window of ``burst_window`` time units with probability
+        ``burst_rate``; transmissions during a burst are dropped with
+        probability ``burst_drop`` (on top of ``drop_rate``).
+    crash_rate, crash_window, recover_after:
+        Each node independently crashes with probability ``crash_rate``,
+        at a time drawn uniformly from ``crash_window``.  Crashed nodes
+        receive nothing and execute nothing.  ``recover_after`` (time
+        units) schedules a recovery; ``None`` means fail-stop.
+    flap_rate, flap_period, flap_down:
+        Each undirected link independently *flaps* with probability
+        ``flap_rate``: it is down (drops everything) for the first
+        ``flap_down`` fraction of every ``flap_period``-length cycle,
+        phase-shifted per link.
+    latency, jitter:
+        Per-transmission delivery delay ``latency + jitter * U`` with
+        ``U ~ Uniform[0, 1)`` per (edge, send counter).  ``jitter=0``
+        with ``latency=1`` is the synchronous model's unit delay.
+    drift:
+        Per-node clock-rate skew: node clocks run at ``1 + drift *
+        (2U - 1)`` times real time (timer delays divide by the rate).
+    """
+
+    seed: int = 0
+    drop_rate: float = 0.0
+    burst_rate: float = 0.0
+    burst_drop: float = 0.9
+    burst_window: float = 16.0
+    crash_rate: float = 0.0
+    crash_window: tuple[float, float] = (0.0, 64.0)
+    recover_after: float | None = None
+    flap_rate: float = 0.0
+    flap_period: float = 24.0
+    flap_down: float = 0.35
+    latency: float = 1.0
+    jitter: float = 0.0
+    drift: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("drop_rate", "burst_rate", "burst_drop", "crash_rate",
+                     "flap_rate", "flap_down"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ProtocolError(
+                    f"FaultPlan.{name} must be a probability, got {value}"
+                )
+        if self.latency <= 0.0:
+            raise ProtocolError(
+                f"FaultPlan.latency must be > 0, got {self.latency}"
+            )
+        if self.jitter < 0.0 or self.drift < 0.0 or self.drift >= 1.0:
+            raise ProtocolError(
+                "FaultPlan.jitter must be >= 0 and drift in [0, 1), got "
+                f"jitter={self.jitter} drift={self.drift}"
+            )
+        if self.burst_window <= 0.0 or self.flap_period <= 0.0:
+            raise ProtocolError("FaultPlan windows/periods must be > 0")
+        if self.crash_window[1] < self.crash_window[0]:
+            raise ProtocolError(
+                f"FaultPlan.crash_window must be ordered, got "
+                f"{self.crash_window}"
+            )
+        if self.recover_after is not None and self.recover_after <= 0.0:
+            raise ProtocolError(
+                f"FaultPlan.recover_after must be > 0, got "
+                f"{self.recover_after}"
+            )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def reliable(cls, *, latency: float = 1.0) -> "FaultPlan":
+        """The zero-fault plan (unit latency by default): the event tier
+        under this plan is pinned equal to the synchronous scalar tier."""
+        return cls(latency=latency)
+
+    @property
+    def zero_fault(self) -> bool:
+        """True iff no transmission can ever be lost, delayed unevenly,
+        or see a crashed endpoint."""
+        return (
+            self.drop_rate == 0.0
+            and self.burst_rate == 0.0
+            and self.crash_rate == 0.0
+            and self.flap_rate == 0.0
+            and self.jitter == 0.0
+            and self.drift == 0.0
+        )
+
+    def with_seed(self, seed: int) -> "FaultPlan":
+        """Same fault intensity, fresh randomness."""
+        return replace(self, seed=seed)
+
+    def _state(self, tag: int):
+        return seed_state(self.seed * 1_000_003 + tag)
+
+    # ------------------------------------------------------------------
+    # Node-level decisions
+    # ------------------------------------------------------------------
+    def crash_schedule(self, node: int) -> tuple[float, float | None] | None:
+        """``(crash_time, recover_time | None)`` for ``node``, or ``None``
+        if the node never crashes under this plan."""
+        if self.crash_rate == 0.0:
+            return None
+        if counter_uniform(self._state(_T_CRASH), node, 0) >= self.crash_rate:
+            return None
+        lo, hi = self.crash_window
+        at = lo + counter_uniform(self._state(_T_CRASH_AT), node, 0) * (hi - lo)
+        back = None if self.recover_after is None else at + self.recover_after
+        return at, back
+
+    def dead_at(self, node: int, at: float) -> bool:
+        """Whether ``node`` is crashed (and not yet recovered) at global
+        time ``at`` -- how multi-run pipelines sharing one timeline ask
+        who is down between protocol executions."""
+        sched = self.crash_schedule(node)
+        if sched is None:
+            return False
+        crash, back = sched
+        if at < crash:
+            return False
+        return back is None or at < back
+
+    def clock_rate(self, node: int) -> float:
+        """Node-local clock speed relative to global time (1.0 = exact)."""
+        if self.drift == 0.0:
+            return 1.0
+        u = counter_uniform(self._state(_T_DRIFT), node, 0)
+        return 1.0 + self.drift * (2.0 * u - 1.0)
+
+    # ------------------------------------------------------------------
+    # Edge-level decisions
+    # ------------------------------------------------------------------
+    def latency_of(self, u: int, v: int, counter: int) -> float:
+        """Delivery delay of the ``counter``-th transmission ``u -> v``."""
+        if self.jitter == 0.0:
+            return self.latency
+        draw = counter_uniform(self._state(_T_LAT), _edge_key(u, v), counter)
+        return self.latency + self.jitter * draw
+
+    def link_down(self, u: int, v: int, at: float) -> bool:
+        """Whether the undirected link ``{u, v}`` is flapped down at
+        global time ``at``."""
+        if self.flap_rate == 0.0:
+            return False
+        key = _link_key(u, v)
+        state = self._state(_T_FLAP)
+        if counter_uniform(state, key, 0) >= self.flap_rate:
+            return False
+        phase = counter_uniform(state, key, 1)
+        cycle = (at / self.flap_period + phase) % 1.0
+        return cycle < self.flap_down
+
+    def dropped(self, u: int, v: int, counter: int, at: float) -> bool:
+        """Whether the ``counter``-th transmission ``u -> v`` (sent at
+        global time ``at``) is lost -- by flap, burst, or i.i.d. loss."""
+        if self.link_down(u, v, at):
+            return True
+        key = _edge_key(u, v)
+        if self.burst_rate > 0.0:
+            window = int(at // self.burst_window)
+            state = self._state(_T_BURST)
+            bursting = (
+                counter_uniform(state, _link_key(u, v), window)
+                < self.burst_rate
+            )
+            if bursting and (
+                counter_uniform(state, key, counter) < self.burst_drop
+            ):
+                return True
+        if self.drop_rate > 0.0:
+            return (
+                counter_uniform(self._state(_T_DROP), key, counter)
+                < self.drop_rate
+            )
+        return False
+
+    # ------------------------------------------------------------------
+    def describe(self) -> dict[str, Any]:
+        """Flat dict of the fault axes (for experiment rows/reports)."""
+        return {
+            "seed": self.seed,
+            "drop_rate": self.drop_rate,
+            "burst_rate": self.burst_rate,
+            "crash_rate": self.crash_rate,
+            "flap_rate": self.flap_rate,
+            "latency": self.latency,
+            "jitter": self.jitter,
+            "drift": self.drift,
+            "recover_after": self.recover_after,
+        }

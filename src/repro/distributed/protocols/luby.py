@@ -179,6 +179,13 @@ class LubyMIS(BatchProtocol):
         """Whether this node is in the MIS."""
         return ctx.state["status"] == _IN_MIS
 
+    def on_peer_dead(self, ctx: NodeContext, peer: int) -> None:
+        """Hardening hook (event tier): a neighbor stopped responding --
+        stop expecting its bids and fates, exactly as if it had gone OUT."""
+        active = ctx.state.get("active_nbrs")
+        if active is not None:
+            active.discard(peer)
+
     # ------------------------------------------------------------------
     # Batch tier
     # ------------------------------------------------------------------

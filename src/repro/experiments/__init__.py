@@ -1,4 +1,4 @@
-"""The DESIGN.md experiment suite (E1-E10 + F-series).
+"""The DESIGN.md experiment suite (E1-E11 + F-series).
 
 Importing this package populates
 :data:`repro.experiments.runner.EXPERIMENT_REGISTRY`; ``run_all`` executes
@@ -17,10 +17,12 @@ from . import (  # noqa: F401 -- imported for registration side effects
     e8_scaling,
     e9_energy,
     e10_fault,
+    e11_chaos,
     f_lemmas,
     x1_doubling,
 )
 from .bench_store import BenchStore
+from .failures import FAULT_REGISTRY, FaultScenarioSpec, fault_scenario
 from .runner import EXPERIMENT_REGISTRY, ExperimentResult, format_table
 from .workloads import WORKLOAD_NAMES, Workload, make_workload
 
@@ -32,6 +34,9 @@ __all__ = [
     "Workload",
     "make_workload",
     "WORKLOAD_NAMES",
+    "FAULT_REGISTRY",
+    "FaultScenarioSpec",
+    "fault_scenario",
     "run_all",
 ]
 

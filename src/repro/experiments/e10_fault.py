@@ -16,20 +16,31 @@ from ..extensions.fault_tolerance import (
     is_k_vertex_fault_tolerant,
     multipass_fault_tolerant_spanner,
 )
-from .runner import ExperimentResult, register
+from .runner import ExperimentResult, register, stopwatch
 from .workloads import make_workload
 
 __all__ = ["run"]
 
 
 @register("E10")
-def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
-    """Execute E10."""
-    n = 80 if quick else 160
+def run(
+    quick: bool = False,
+    seed: int = 0,
+    *,
+    scenarios: tuple[str, ...] | None = None,
+    sizes: tuple[int, ...] | None = None,
+) -> ExperimentResult:
+    """Execute E10.
+
+    ``scenarios``/``sizes`` override the workload cell (first entry of
+    each is used) -- the sweep driver passes one cell at a time.
+    """
+    n = sizes[0] if sizes else (80 if quick else 160)
+    scenario = scenarios[0] if scenarios else "uniform"
     ks = (1,) if quick else (1, 2)
     eps = 0.5
     trials = 15 if quick else 40
-    workload = make_workload("uniform", n, seed=seed + 53)
+    workload = make_workload(scenario, n, seed=seed + 53)
     plain = build_spanner(workload.graph, workload.points.distance, eps)
     result = ExperimentResult(
         experiment="E10",
@@ -43,46 +54,47 @@ def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
         ),
     )
     for k in ks:
-        tolerant = multipass_fault_tolerant_spanner(
-            workload.graph, workload.points.distance, eps, k
+        row = {"k": k}
+        with stopwatch(row):
+            tolerant = multipass_fault_tolerant_spanner(
+                workload.graph, workload.points.distance, eps, k
+            )
+            report = fault_injection_report(
+                workload.graph, tolerant, 1.0 + eps, k,
+                trials=trials, seed=seed,
+            )
+            plain_report = fault_injection_report(
+                workload.graph, plain.spanner, 1.0 + eps, k,
+                trials=trials, seed=seed,
+            )
+        row.update(
+            ft_edges=tolerant.num_edges,
+            plain_edges=plain.spanner.num_edges,
+            ft_worst_stretch=report.worst_stretch,
+            plain_worst_stretch=plain_report.worst_stretch,
+            ft_failures=report.failures,
+            trials=report.trials,
         )
-        report = fault_injection_report(
-            workload.graph, tolerant, 1.0 + eps, k, trials=trials, seed=seed
-        )
-        plain_report = fault_injection_report(
-            workload.graph, plain.spanner, 1.0 + eps, k,
-            trials=trials, seed=seed,
-        )
-        result.rows.append(
-            {
-                "k": k,
-                "ft_edges": tolerant.num_edges,
-                "plain_edges": plain.spanner.num_edges,
-                "ft_worst_stretch": report.worst_stretch,
-                "plain_worst_stretch": plain_report.worst_stretch,
-                "ft_failures": report.failures,
-                "trials": report.trials,
-            }
-        )
+        result.rows.append(row)
         result.passed &= report.tolerant
     if not quick:
-        small = make_workload("uniform", 40, seed=seed + 59)
-        ft1 = multipass_fault_tolerant_spanner(
-            small.graph, small.points.distance, eps, 1
+        row = {"k": 1}
+        with stopwatch(row):
+            small = make_workload("uniform", 40, seed=seed + 59)
+            ft1 = multipass_fault_tolerant_spanner(
+                small.graph, small.points.distance, eps, 1
+            )
+            exhaustive = is_k_vertex_fault_tolerant(
+                small.graph, ft1, 1.0 + eps, 1
+            )
+        row.update(
+            ft_edges=ft1.num_edges,
+            plain_edges="n=40 exhaustive",
+            ft_worst_stretch=float("nan"),
+            plain_worst_stretch=float("nan"),
+            ft_failures=0 if exhaustive else 1,
+            trials=small.n,
         )
-        exhaustive = is_k_vertex_fault_tolerant(
-            small.graph, ft1, 1.0 + eps, 1
-        )
-        result.rows.append(
-            {
-                "k": 1,
-                "ft_edges": ft1.num_edges,
-                "plain_edges": "n=40 exhaustive",
-                "ft_worst_stretch": float("nan"),
-                "plain_worst_stretch": float("nan"),
-                "ft_failures": 0 if exhaustive else 1,
-                "trials": small.n,
-            }
-        )
+        result.rows.append(row)
         result.passed &= exhaustive
     return result

@@ -53,7 +53,15 @@ __all__ = [
 
 #: Numeric row metrics aggregated into experiment-cell rows (max over
 #: the experiment's own rows; enough for run-to-run diffing).
-_AGGREGATE_KEYS = ("stretch", "energy_stretch", "max_degree", "lightness")
+_AGGREGATE_KEYS = (
+    "stretch",
+    "energy_stretch",
+    "max_degree",
+    "lightness",
+    "retransmissions",
+    "recovery_rounds",
+    "crashed",
+)
 
 
 def run_cell(
@@ -95,16 +103,21 @@ def run_cell(
 
 
 def run_experiment_cell(
-    experiment: str, scenario: str, n: int, seed: int
+    experiment: str,
+    scenario: str,
+    n: int,
+    seed: int,
+    fault: str | None = None,
 ) -> dict[str, Any]:
     """Run one registered experiment body for one grid cell.
 
     The body executes in quick mode with the cell's seed; bodies
-    exposing ``scenarios``/``sizes`` override kwargs (detected by
-    signature) are pinned to the cell's scenario and size, so the same
-    claim re-verifies across the whole deployment grid.  Returns a flat
-    row: identity keys, pass/fail, row count, wall clock, and the max
-    of each recognized numeric metric over the experiment's own rows.
+    exposing ``scenarios``/``sizes``/``faults`` override kwargs
+    (detected by signature) are pinned to the cell's scenario, size and
+    failure scenario, so the same claim re-verifies across the whole
+    deployment grid.  Returns a flat row: identity keys, pass/fail,
+    row count, wall clock, and the max of each recognized numeric
+    metric over the experiment's own rows.
     """
     fn = EXPERIMENT_REGISTRY[experiment]
     params = inspect.signature(fn).parameters
@@ -113,12 +126,16 @@ def run_experiment_cell(
         kwargs["scenarios"] = (scenario,)
     if "sizes" in params:
         kwargs["sizes"] = (n,)
+    if fault is not None and "faults" in params:
+        kwargs["faults"] = (fault,)
     row: dict[str, Any] = {
         "experiment": experiment,
         "scenario": scenario,
         "n": n,
         "seed": seed,
     }
+    if fault is not None:
+        row["fault"] = fault
     with stopwatch(row, "wall_s"):
         result = fn(quick=True, seed=seed, **kwargs)
     row.update(passed=bool(result.passed), rows=len(result.rows))
@@ -139,8 +156,8 @@ def _run_cell_args(args: tuple) -> dict[str, Any]:
 
 
 def _run_experiment_cell_args(args: tuple) -> dict[str, Any]:
-    experiment, scenario, n, seed = args
-    return run_experiment_cell(experiment, scenario, n, seed)
+    experiment, scenario, n, seed, fault = args
+    return run_experiment_cell(experiment, scenario, n, seed, fault)
 
 
 def run_sweep(
@@ -152,19 +169,22 @@ def run_sweep(
     alpha: float = 1.0,
     jobs: int = 1,
     experiments: Sequence[str] = (),
+    faults: Sequence[str] = (),
 ) -> dict[str, Any]:
     """Execute the full grid and aggregate one report dict.
 
     Cells run on a process pool when ``jobs > 1``; rows always come back
     in grid order (experiment-major when ``experiments`` are given, then
-    scenario, n, seed), so reports are diffable run-to-run regardless of
-    completion order.
+    scenario, n, seed, fault), so reports are diffable run-to-run
+    regardless of completion order.  ``faults`` adds a failure-scenario
+    axis for experiment cells (bodies without a ``faults`` kwarg simply
+    run once per fault cell under their default conditions).
     """
     if experiments:
         grid = [
-            (e, s, int(n), int(seed))
-            for e, s, n, seed in itertools.product(
-                experiments, scenarios, sizes, seeds
+            (e, s, int(n), int(seed), f)
+            for e, s, n, seed, f in itertools.product(
+                experiments, scenarios, sizes, seeds, faults or (None,)
             )
         ]
         worker = _run_experiment_cell_args
@@ -208,6 +228,7 @@ def run_sweep(
         "sizes": [int(n) for n in sizes],
         "seeds": [int(s) for s in seeds],
         "experiments": list(experiments),
+        "faults": list(faults),
         "num_cells": len(rows),
         "passed": all(r["passed"] for r in rows),
         "cells": rows,
@@ -223,8 +244,9 @@ def save_sweep(report: dict[str, Any], path: str | Path) -> Path:
     return path
 
 
-#: Cell identity: the grid coordinates (build cells lack "experiment").
-_IDENTITY_KEYS = ("experiment", "scenario", "n", "seed")
+#: Cell identity: the grid coordinates (build cells lack "experiment"
+#: and "fault").
+_IDENTITY_KEYS = ("experiment", "scenario", "n", "seed", "fault")
 
 
 def _cell_key(row: dict[str, Any]) -> tuple:
@@ -314,6 +336,14 @@ def main(argv: list[str] | None = None) -> int:
             "bodies over the grid instead of build cells"
         ),
     )
+    parser.add_argument(
+        "--faults", default="",
+        help=(
+            "comma-separated failure scenario names (see "
+            "repro.experiments.failures); adds a fault axis to "
+            "experiment cells"
+        ),
+    )
     parser.add_argument("--epsilon", type=float, default=0.5)
     parser.add_argument("--alpha", type=float, default=1.0)
     parser.add_argument(
@@ -348,12 +378,31 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 2
+    faults = _csv(args.faults)
+    if faults:
+        from .failures import FAULT_REGISTRY
+
+        unknown = set(faults) - set(FAULT_REGISTRY)
+        if unknown:
+            print(
+                f"unknown fault scenario(s): {sorted(unknown)}; "
+                f"available: {sorted(FAULT_REGISTRY)}",
+                file=sys.stderr,
+            )
+            return 2
+        if not experiments:
+            print(
+                "--faults requires --experiments (build cells have no "
+                "fault axis)",
+                file=sys.stderr,
+            )
+            return 2
     sizes = [int(x) for x in _csv(args.sizes)]
     seeds = [int(x) for x in _csv(args.seeds)]
     report = run_sweep(
         scenarios, sizes, seeds,
         epsilon=args.epsilon, alpha=args.alpha, jobs=args.jobs,
-        experiments=experiments,
+        experiments=experiments, faults=faults,
     )
     print(format_table(report["cells"]))
     if args.diff:

@@ -9,6 +9,7 @@ from .energy import (
 )
 from .fault_tolerance import (
     FaultInjectionReport,
+    EdgeFaultMaskedOracle,
     FaultMaskedOracle,
     fault_injection_report,
     is_k_vertex_fault_tolerant,
@@ -23,6 +24,7 @@ from .power_cost import (
 )
 
 __all__ = [
+    "EdgeFaultMaskedOracle",
     "FaultMaskedOracle",
     "EnergyCostOracle",
     "energy_cost_oracle",

@@ -37,6 +37,7 @@ from ..params import SpannerParams
 
 __all__ = [
     "FaultMaskedOracle",
+    "EdgeFaultMaskedOracle",
     "one_fault_greedy",
     "multipass_fault_tolerant_spanner",
     "FaultInjectionReport",
@@ -91,6 +92,67 @@ class FaultMaskedOracle:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"FaultMaskedOracle(faults={sorted(self._faults)})"
+
+
+class EdgeFaultMaskedOracle:
+    """Distance oracle with a set of failed *edges* masked to ``inf``.
+
+    The edge-fault companion of :class:`FaultMaskedOracle`: exactly the
+    pairs listed in ``failed_edges`` (as unordered ``{u, v}``) report
+    ``inf``; every other pair -- including other pairs touching the same
+    vertices -- defers to the wrapped base oracle.  Composes freely with
+    other batched wrappers: ``EnergyCostOracle(EdgeFaultMaskedOracle(...))``
+    masks the same pairs in energy space, since the energy metric maps
+    ``inf`` to ``inf``.  Scalar and ``pairs`` queries agree bit-for-bit
+    whenever the base oracle's do (masked entries are the same literal
+    ``inf`` on both paths).
+
+    Pair keys use ``min * 2**32 + max`` -- exact for any vertex ids below
+    ``2**32``, far beyond the point sets this repository builds.
+    """
+
+    __slots__ = ("_base", "_edges", "_key_arr")
+
+    batched = True
+
+    def __init__(self, base: DistanceOracle, failed_edges) -> None:
+        self._base = as_oracle(base)
+        self._edges = frozenset(
+            (int(min(u, v)), int(max(u, v))) for u, v in failed_edges
+        )
+        self._key_arr = np.asarray(
+            sorted(
+                (np.int64(a) << np.int64(32)) + np.int64(b)
+                for a, b in self._edges
+            ),
+            dtype=np.int64,
+        )
+
+    @property
+    def failed_edges(self) -> frozenset:
+        """The masked edges, as sorted ``(min, max)`` tuples."""
+        return self._edges
+
+    def __call__(self, u: int, v: int) -> float:
+        if (min(u, v), max(u, v)) in self._edges:
+            return float("inf")
+        return self._base(u, v)
+
+    def pairs(self, u, v):
+        u = np.asarray(u, dtype=np.int64)
+        v = np.asarray(v, dtype=np.int64)
+        out = np.asarray(self._base.pairs(u, v), dtype=np.float64)
+        if self._key_arr.size:
+            keys = (
+                np.minimum(u, v) << np.int64(32)
+            ) + np.maximum(u, v)
+            masked = np.isin(keys, self._key_arr)
+            if masked.any():
+                out = np.where(masked, np.inf, out)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"EdgeFaultMaskedOracle(failed_edges={sorted(self._edges)})"
 
 
 def _survives_worst_single_fault(

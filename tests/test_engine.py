@@ -114,6 +114,59 @@ class TestEngine:
         assert result.words >= result.messages  # each payload >= 1 word
 
 
+class TestCSRValidation:
+    """Each CSR rejection names the offending slot (and node pair), so a
+    bad topology is debuggable without bisecting the arrays by hand."""
+
+    @staticmethod
+    def _net(indptr, indices):
+        import numpy as np
+
+        return SynchronousNetwork(
+            (np.asarray(indptr, dtype=np.int64),
+             np.asarray(indices, dtype=np.int64))
+        )
+
+    def test_valid_csr_accepted(self):
+        net = self._net([0, 1, 2], [1, 0])
+        assert net.nodes == [0, 1]
+
+    def test_self_loop_names_slot(self):
+        with pytest.raises(
+            ProtocolError, match=r"self-loop at 1 in topology \(CSR slot 2\)"
+        ):
+            self._net([0, 2, 4], [1, 1, 1, 0])
+
+    def test_unsorted_row_names_first_violation(self):
+        # Node 0's row is [2, 1]: descending, so slot 1 breaks order.
+        with pytest.raises(
+            ProtocolError, match=r"first violation at slot 1 \(node 0 -> 1\)"
+        ):
+            self._net([0, 2, 3, 4], [2, 1, 0, 0])
+
+    def test_duplicate_neighbor_names_first_violation(self):
+        with pytest.raises(
+            ProtocolError, match=r"first violation at slot 1 \(node 0 -> 1\)"
+        ):
+            self._net([0, 2, 4], [1, 1, 0, 0])
+
+    def test_asymmetric_names_unreciprocated_slot(self):
+        # 0 -> 1 exists, 1 -> 0 does not.
+        with pytest.raises(
+            ProtocolError,
+            match=r"slot 0 \(0 -> 1\) has no reverse edge",
+        ):
+            self._net([0, 1, 1], [1])
+
+    def test_out_of_range_neighbor_rejected(self):
+        with pytest.raises(ProtocolError, match=r"out of range"):
+            self._net([0, 1, 2], [1, 5])
+
+    def test_decreasing_indptr_rejected(self):
+        with pytest.raises(ProtocolError, match="non-decreasing"):
+            self._net([0, 2, 1, 3], [1, 0, 0])
+
+
 class TestPayloadWords:
     def test_atoms(self):
         assert payload_words(5) == 1

@@ -1,0 +1,137 @@
+"""The failure scenario family and E11 (graceful degradation).
+
+Pins the scenario registry's shape, the ``reliable`` scenario's anchor
+row (``sync_equal`` must be True: the event tier reproduced the
+synchronous scalar tier bit-for-bit), and seed-determinism of the
+fault-injection machinery end to end (S3).
+"""
+
+import pytest
+
+from repro.distributed import FaultPlan
+from repro.experiments import EXPERIMENT_REGISTRY
+from repro.experiments.failures import (
+    FAULT_REGISTRY,
+    FaultScenarioSpec,
+    fault_names,
+    fault_scenario,
+    register_fault,
+)
+from repro.extensions.fault_tolerance import fault_injection_report
+from repro.graphs.graph import Graph
+
+
+class TestScenarioRegistry:
+    def test_expected_family_registered(self):
+        assert {
+            "reliable", "lossy", "lossy-heavy", "bursty", "crashy",
+            "phoenix", "flaky-links", "jittery", "drifting", "chaos",
+        } <= set(FAULT_REGISTRY)
+
+    def test_unknown_scenario_names_known_ones(self):
+        with pytest.raises(KeyError, match="known:"):
+            fault_scenario("nope")
+
+    def test_fault_names_matches_registry(self):
+        assert set(fault_names()) == set(FAULT_REGISTRY)
+
+    def test_reliable_is_the_zero_fault_plan(self):
+        plan = fault_scenario("reliable").plan(seed=9)
+        assert plan.zero_fault
+        assert plan.latency == 1.0
+        assert plan.seed == 9
+
+    def test_plan_carries_the_scenario_knobs(self):
+        plan = fault_scenario("chaos").plan(seed=4)
+        spec = fault_scenario("chaos")
+        assert plan.drop_rate == spec.drop_rate
+        assert plan.crash_rate == spec.crash_rate
+        assert plan.jitter == spec.jitter
+        assert not plan.zero_fault
+
+    def test_as_row_flattens_only_active_knobs(self):
+        row = fault_scenario("lossy").as_row()
+        assert row["fault"] == "lossy"
+        assert row["drop_rate"] == 0.1
+        assert "crash_rate" not in row
+        assert "latency" not in row
+
+    def test_register_fault_roundtrip(self):
+        spec = FaultScenarioSpec("tmp-test", "temporary", drop_rate=0.42)
+        try:
+            register_fault(spec)
+            assert fault_scenario("tmp-test").drop_rate == 0.42
+        finally:
+            FAULT_REGISTRY.pop("tmp-test", None)
+
+
+class TestE11:
+    def test_quick_passes_and_reliable_row_anchors(self):
+        result = EXPERIMENT_REGISTRY["E11"](quick=True, seed=3)
+        assert result.passed, result.to_text()
+        by_fault = {row["fault"]: row for row in result.rows}
+        assert by_fault["reliable"]["sync_equal"] is True
+        assert by_fault["reliable"]["retransmissions"] == 0
+        assert by_fault["reliable"]["crashed"] == 0
+        for row in result.rows:
+            assert row["stretch_ok"]
+            assert row["wall_s"] >= 0.0
+
+    def test_faults_override_narrows_the_rows(self):
+        result = EXPERIMENT_REGISTRY["E11"](
+            quick=True, seed=0, faults=("reliable", "lossy"), sizes=(24,)
+        )
+        assert [row["fault"] for row in result.rows] == [
+            "reliable", "lossy"
+        ]
+        assert all(row["n"] == 24 for row in result.rows)
+
+    def test_same_seed_runs_identical(self):
+        a = EXPERIMENT_REGISTRY["E11"](
+            quick=True, seed=2, faults=("chaos",), sizes=(28,)
+        )
+        b = EXPERIMENT_REGISTRY["E11"](
+            quick=True, seed=2, faults=("chaos",), sizes=(28,)
+        )
+        keys = [
+            "mis_rounds", "mis_messages", "retransmissions",
+            "recovery_rounds", "dropped", "crashed", "build_rounds",
+            "spanner_edges", "repair_edges", "stretch",
+        ]
+        for ra, rb in zip(a.rows, b.rows):
+            for key in keys:
+                assert ra[key] == rb[key], key
+
+
+class TestInjectionDeterminism:
+    """S3: same seed => identical reports, different seed may differ."""
+
+    @staticmethod
+    def _instance():
+        from repro.experiments.workloads import make_workload
+
+        w = make_workload("uniform", 30, seed=7)
+        spanner = Graph(30)
+        for u, v, wt in w.graph.edges():
+            spanner.add_edge(u, v, wt)
+        return w.graph, spanner
+
+    def test_fault_injection_report_same_seed_identical(self):
+        base, spanner = self._instance()
+        a = fault_injection_report(base, spanner, 1.5, 2, trials=10, seed=5)
+        b = fault_injection_report(base, spanner, 1.5, 2, trials=10, seed=5)
+        assert a == b
+
+    def test_fault_plan_draws_are_pure_functions_of_seed(self):
+        plan = FaultPlan(seed=17, drop_rate=0.3, jitter=0.5, crash_rate=0.2)
+        twin = FaultPlan(seed=17, drop_rate=0.3, jitter=0.5, crash_rate=0.2)
+        for counter in range(50):
+            assert plan.dropped(1, 2, counter, 3.0) == twin.dropped(
+                1, 2, counter, 3.0
+            )
+            assert plan.latency_of(1, 2, counter) == twin.latency_of(
+                1, 2, counter
+            )
+        for node in range(30):
+            assert plan.crash_schedule(node) == twin.crash_schedule(node)
+            assert plan.clock_rate(node) == twin.clock_rate(node)

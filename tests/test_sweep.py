@@ -106,6 +106,70 @@ class TestExperimentCells:
         assert report["passed"]
 
 
+class TestFaultAxis:
+    def test_experiment_cell_carries_fault_column(self):
+        from repro.experiments.sweep import run_experiment_cell
+
+        row = run_experiment_cell("E11", "uniform", 32, 0, fault="lossy")
+        assert row["experiment"] == "E11"
+        assert row["fault"] == "lossy"
+        assert row["passed"]
+        assert row["retransmissions"] >= 0
+
+    def test_fault_ignored_by_experiments_without_fault_axis(self):
+        from repro.experiments.sweep import run_experiment_cell
+
+        # E1 takes no ``faults`` kwarg; the cell still runs and the
+        # fault column records what was requested.
+        row = run_experiment_cell("E1", "uniform", 48, 0, fault="lossy")
+        assert row["experiment"] == "E1" and row["passed"]
+        assert row["fault"] == "lossy"
+
+    def test_fault_grid_order(self):
+        report = run_sweep(
+            ["uniform"], [32], [0], jobs=1, experiments=["E11"],
+            faults=["reliable", "lossy"],
+        )
+        assert report["faults"] == ["reliable", "lossy"]
+        assert [r["fault"] for r in report["cells"]] == [
+            "reliable", "lossy"
+        ]
+        assert report["passed"]
+
+    def test_faults_flag_via_cli(self, tmp_path):
+        out = tmp_path / "sweep.json"
+        code = main(
+            [
+                "--experiments", "E11",
+                "--scenarios", "uniform",
+                "--sizes", "32",
+                "--seeds", "0",
+                "--faults", "reliable",
+                "--output", str(out),
+            ]
+        )
+        assert code == 0
+        report = json.loads(out.read_text())
+        assert report["num_cells"] == 1
+        assert report["cells"][0]["fault"] == "reliable"
+
+    def test_unknown_fault_rejected(self, capsys):
+        code = main(
+            [
+                "--experiments", "E11",
+                "--faults", "nonsense",
+                "--output", "",
+            ]
+        )
+        assert code == 2
+        assert "unknown fault" in capsys.readouterr().err
+
+    def test_faults_require_experiments(self, capsys):
+        code = main(["--faults", "lossy", "--output", ""])
+        assert code == 2
+        assert "--faults" in capsys.readouterr().err
+
+
 class TestDiffReports:
     def _report(self, stretch, extra_cell=False):
         cells = [
@@ -162,7 +226,8 @@ class TestDiffReports:
         delta = diff_reports(
             self._report(1.4), self._report(1.4, extra_cell=True)
         )
-        assert delta["added"] == [["E9", "ring", 48, 0]]
+        # Cell identity now includes the fault axis (None when unset).
+        assert delta["added"] == [["E9", "ring", 48, 0, None]]
         assert delta["removed"] == []
 
 

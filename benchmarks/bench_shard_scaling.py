@@ -1,0 +1,171 @@
+"""Sharded-tier scaling benches (ISSUE 7 acceptance).
+
+The sharded batch tier fans one protocol run (or one full distributed
+build) across worker processes while staying bit-identical to the
+single-process engine -- so every bench here asserts identity first and
+then records the wall-clock scaling curve in the ``results/bench``
+trajectory store.  Per-shard speedup is *recorded*, never asserted:
+this container exposes a single core (``os.cpu_count() == 1``), so
+multi-process runs cannot beat the sequential tier here; the BenchStore
+gate (>2x regression vs the stored median, armed by
+``REPRO_BENCH_GATE=1``) is what keeps the sharded path from rotting.
+The n = 10^5 build budget (60 s, the issue target) is likewise only
+enforced when >= 4 cores are actually present.
+
+Run everything::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_shard_scaling.py -s
+
+CI smoke runs ``-k "not 100000"``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.distributed.dist_spanner import DistributedRelaxedGreedy
+from repro.distributed.engine import SynchronousNetwork
+from repro.distributed.protocols.luby import LubyMIS
+from repro.experiments.workloads import make_workload
+from repro.params import SpannerParams
+
+JOBS_AXIS = [1, 2, 4]
+
+
+def _identical(a, b) -> bool:
+    return (
+        a.rounds == b.rounds
+        and a.messages == b.messages
+        and list(a.outputs.items()) == list(b.outputs.items())
+    )
+
+
+@pytest.mark.parametrize("jobs", JOBS_AXIS)
+def test_sharded_mis_kernel(benchmark, bench_gate, jobs):
+    """One LubyMIS protocol run, sharded ``jobs`` ways (1 = the plain
+    single-process batch engine, the speedup baseline)."""
+    workload = make_workload("uniform", 3000, seed=4321)
+    net = SynchronousNetwork(workload.graph)
+
+    t0 = time.perf_counter()
+    single = net.run(LubyMIS(seed=9))
+    base_s = time.perf_counter() - t0
+
+    if jobs == 1:
+        run = lambda: net.run(LubyMIS(seed=9))  # noqa: E731
+    else:
+        run = lambda: net.run(  # noqa: E731
+            LubyMIS(seed=9), shards=jobs, jobs=jobs
+        )
+    sharded = benchmark.pedantic(run, rounds=1, iterations=1)
+    wall_s = benchmark.stats.stats.mean
+    assert _identical(single, sharded)  # sharding never changes the run
+
+    speedup = base_s / wall_s if wall_s > 0 else 1.0
+    print(
+        f"\nmis n=3000 jobs={jobs}: {wall_s:.3f}s "
+        f"(speedup x{speedup:.2f}, cpus={os.cpu_count()})"
+    )
+    bench_gate(
+        f"shard-mis-n3000-j{jobs}",
+        {
+            "n": 3000,
+            "jobs": jobs,
+            "wall_s": wall_s,
+            "single_wall_s": base_s,
+            "speedup": speedup,
+            "cpus": os.cpu_count(),
+            "rounds": sharded.rounds,
+        },
+    )
+
+
+@pytest.mark.parametrize("jobs", JOBS_AXIS)
+def test_sharded_build_scaling(benchmark, bench_gate, jobs):
+    """Full distributed build at n = 5000, sharded ``jobs`` ways."""
+    params = SpannerParams.from_epsilon(0.5)
+    workload = make_workload("uniform", 5000, seed=1234 + 5000)
+
+    t0 = time.perf_counter()
+    base = DistributedRelaxedGreedy(params, seed=0).build(
+        workload.graph, workload.points.distance
+    )
+    base_s = time.perf_counter() - t0
+
+    builder = DistributedRelaxedGreedy(
+        params, seed=0, jobs=jobs, points=workload.points
+    )
+    build = benchmark.pedantic(
+        lambda: builder.build(workload.graph, workload.points.distance),
+        rounds=1,
+        iterations=1,
+    )
+    wall_s = benchmark.stats.stats.mean
+    assert sorted(build.spanner.edges()) == sorted(base.spanner.edges())
+    assert build.total_rounds == base.total_rounds
+
+    speedup = base_s / wall_s if wall_s > 0 else 1.0
+    print(
+        f"\nbuild n=5000 jobs={jobs}: {wall_s:.2f}s "
+        f"(speedup x{speedup:.2f}, rounds={build.total_rounds})"
+    )
+    bench_gate(
+        f"shard-build-n5000-j{jobs}",
+        {
+            "n": 5000,
+            "jobs": jobs,
+            "wall_s": wall_s,
+            "single_wall_s": base_s,
+            "speedup": speedup,
+            "cpus": os.cpu_count(),
+            "rounds": build.total_rounds,
+            "edges": build.spanner.num_edges,
+        },
+    )
+    assert wall_s < 30.0, f"sharded n=5000 took {wall_s:.1f}s (budget 30s)"
+
+
+def test_sharded_build_100000(benchmark, bench_gate):
+    """The issue-target size: n = 10^5 distributed build, 4 shards.
+
+    The 60 s budget assumes the shards actually run in parallel; on a
+    single-core container the wall is recorded (and trajectory-gated)
+    but the budget is not enforced.
+    """
+    params = SpannerParams.from_epsilon(0.5)
+    workload = make_workload("uniform", 100_000, seed=1234)
+    builder = DistributedRelaxedGreedy(
+        params, seed=0, jobs=4, points=workload.points
+    )
+    build = benchmark.pedantic(
+        lambda: builder.build(workload.graph, workload.points.distance),
+        rounds=1,
+        iterations=1,
+    )
+    wall_s = benchmark.stats.stats.mean
+    print(
+        f"\nbuild n=100000 jobs=4: {wall_s:.1f}s "
+        f"(rounds={build.total_rounds}, edges={build.spanner.num_edges}, "
+        f"cpus={os.cpu_count()})"
+    )
+    bench_gate(
+        "shard-build-n100000-j4",
+        {
+            "n": 100_000,
+            "jobs": 4,
+            "wall_s": wall_s,
+            "cpus": os.cpu_count(),
+            "rounds": build.total_rounds,
+            "mis_invocations": build.mis_invocations,
+            "edges": build.spanner.num_edges,
+        },
+    )
+    cpus = os.cpu_count() or 1
+    if cpus >= 4:
+        assert wall_s < 60.0, (
+            f"n=100000 sharded build took {wall_s:.1f}s on {cpus} cores "
+            "(budget 60s)"
+        )

@@ -35,6 +35,7 @@ __all__ = [
     "find_redundant_pairs",
     "find_redundant_pairs_reference",
     "build_conflict_graph",
+    "conflict_graph_arrays",
     "remove_redundant_edges",
 ]
 
@@ -217,6 +218,47 @@ def build_conflict_graph(
         adjacency.setdefault(k1, set()).add(k2)
         adjacency.setdefault(k2, set()).add(k1)
     return adjacency
+
+
+def conflict_graph_arrays(
+    pairs: Iterable[tuple[Edge, Edge]],
+    num_vertices: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Conflict graph ``J`` as CSR arrays over sorted edge keys.
+
+    The dict-free twin of :func:`build_conflict_graph`: node ``i`` is
+    the ``i``-th implicated edge key in ascending ``(u, v)`` order --
+    exactly the relabeling ``repro.distributed.mis._normalize`` applies
+    to the mapping form -- so a protocol MIS over the returned CSR
+    selects the same keys, with the same round and message counts, as
+    the dict path (the equivalence suite pins this).
+
+    Returns ``(key_u, key_v, indptr, indices)`` where ``(key_u[i],
+    key_v[i])`` is node ``i``'s edge key and ``(indptr, indices)`` is
+    the symmetric loop-free adjacency over nodes ``0..k-1``.
+    """
+    pair_list = list(pairs)
+    empty = np.empty(0, dtype=np.int64)
+    if not pair_list:
+        return empty, empty, np.zeros(1, dtype=np.int64), empty
+    stride = np.int64(num_vertices)
+    enc = np.empty((len(pair_list), 2), dtype=np.int64)
+    for row, (e1, e2) in enumerate(pair_list):
+        u1, v1 = _edge_key(e1)
+        u2, v2 = _edge_key(e2)
+        enc[row, 0] = u1 * stride + v1
+        enc[row, 1] = u2 * stride + v2
+    # Sorted unique keys give the node ids; lexicographic tuple order
+    # and encoded-integer order agree because 0 <= u < v < stride.
+    nodes = np.unique(enc)
+    k = np.int64(nodes.size)
+    a = np.searchsorted(nodes, enc[:, 0])
+    b = np.searchsorted(nodes, enc[:, 1])
+    arcs = np.unique(np.concatenate([a * k + b, b * k + a]))
+    indptr = np.searchsorted(
+        arcs, np.arange(nodes.size + 1, dtype=np.int64) * k
+    )
+    return nodes // stride, nodes % stride, indptr, arcs % k
 
 
 def remove_redundant_edges(

@@ -52,6 +52,7 @@ from ..core.cover import cover_from_centers
 from ..core.covered import DistanceOracle, split_covered
 from ..core.redundancy import (
     build_conflict_graph,
+    conflict_graph_arrays,
     find_redundant_pairs,
 )
 from ..core.relaxed_greedy import PhaseReport
@@ -70,7 +71,7 @@ from ..params import SpannerParams
 from .engine import SynchronousNetwork
 from .faults import FaultPlan
 from .ledger import RoundLedger
-from .mis import _normalize, run_luby_mis, run_luby_mis_arrays
+from .mis import _normalize, run_luby_mis_arrays
 from .protocols.flooding import KHopGather
 from .unreliable import induced_csr, run_luby_mis_event
 
@@ -147,6 +148,19 @@ class DistributedRelaxedGreedy:
         edges for the phase's hop radius) so the ledger carries measured
         message counts for the gather term too, not just for the MIS
         protocols.  Costs a KHopGather engine run per phase; default off.
+    jobs:
+        Worker-process budget for the cover MIS runs: when ``jobs > 1``
+        the proximity-graph Luby protocol executes on the sharded batch
+        tier (:mod:`repro.distributed.shard`) across ``jobs`` shards.
+        Results are bit-identical to ``jobs=1`` -- same spanner, rounds,
+        message counts -- only wall-clock changes.  Ignored on the event
+        tier (fault-plan builds are inherently sequential).
+    points:
+        Optional :class:`~repro.geometry.points.PointSet` behind the
+        graph; when given and ``jobs > 1``, shards are cut along grid
+        cells (:func:`repro.distributed.shard.grid_partition`) so halos
+        stay one cell ring thick.  Without it, contiguous id ranges are
+        used -- identical output either way.
     fault_plan:
         When set, every MIS invocation runs on the *event tier*
         (:mod:`repro.distributed.unreliable`) under this plan, sharing
@@ -167,13 +181,33 @@ class DistributedRelaxedGreedy:
         process_empty_phases: bool = False,
         measure_gather_messages: bool = False,
         fault_plan: FaultPlan | None = None,
+        jobs: int = 1,
+        points=None,
     ) -> None:
         self.params = params
         self._seed = seed
         self._process_empty = process_empty_phases
         self._measure_gather = measure_gather_messages
         self._fault_plan = fault_plan
+        self._jobs = max(1, int(jobs))
+        self._points = points
+        self._partition: np.ndarray | None = None
         self._clock = 0.0
+
+    def _cover_partition(self, n: int) -> np.ndarray | None:
+        """Owner array for sharded cover-MIS runs (computed once).
+
+        Grid cells when the point set is known, else the contiguous
+        fallback chosen by the engine; ``None`` when ``jobs == 1`` so
+        the single-process batch tier runs untouched.
+        """
+        if self._jobs <= 1:
+            return None
+        if self._partition is None and self._points is not None:
+            from .shard import grid_partition
+
+            self._partition = grid_partition(self._points, self._jobs)
+        return self._partition
 
     # ------------------------------------------------------------------
     def build(
@@ -515,13 +549,16 @@ class DistributedRelaxedGreedy:
         # ---- Step (i): cluster cover via MIS of J (Theorem 16) -------
         prox_indptr, prox_indices = self._proximity_graph(spanner, radius)
         if self._measure_gather and graph.num_edges > 0:
-            facts = {
-                u: frozenset(
-                    (min(u, v), max(u, v), w)
-                    for v, w in spanner.neighbor_items(u)
-                )
-                for u in graph.vertices()
-            }
+            # One pass over the spanner's edge arrays (not n per-node
+            # adjacency scans); facts are identical sets either way.
+            se_u, se_v, se_w = spanner.edges_arrays()
+            facts: dict[int, list] = {u: [] for u in graph.vertices()}
+            for u, v, w in zip(
+                se_u.tolist(), se_v.tolist(), se_w.tolist()
+            ):
+                key = (u, v, w) if u < v else (v, u, w)
+                facts[u].append(key)
+                facts[v].append(key)
             gather_run = SynchronousNetwork(
                 graph, max_rounds=k_cluster + 4
             ).run(KHopGather(facts, k=k_cluster))
@@ -544,7 +581,12 @@ class DistributedRelaxedGreedy:
             )
         if plan is None:
             mis_run = run_luby_mis_arrays(
-                prox_indptr, prox_indices, seed=self._seed * 1_000_003 + index
+                prox_indptr,
+                prox_indices,
+                seed=self._seed * 1_000_003 + index,
+                jobs=self._jobs,
+                shards=self._jobs if self._jobs > 1 else None,
+                partition=self._cover_partition(n),
             )
             result.mis_invocations += 1
             ledger.charge(
@@ -632,16 +674,28 @@ class DistributedRelaxedGreedy:
         pairs = find_redundant_pairs(
             added, cluster_graph, params.t1, w_cur=w_cur
         )
-        conflict = build_conflict_graph(pairs)
         removed: list[tuple[int, int, float]] = []
-        if conflict:
+        if pairs:
             if plan is None:
-                mis2 = run_luby_mis(
-                    conflict, seed=self._seed * 2_000_003 + index
+                # Array route: the conflict graph stays CSR end-to-end
+                # (sorted edge keys are the node ids -- the same
+                # relabeling run_luby_mis applies to the dict form, so
+                # rounds/messages/MIS are identical; pinned in tests).
+                key_u, key_v, c_indptr, c_indices = conflict_graph_arrays(
+                    pairs, n
                 )
-                keep = mis2.independent_set
+                mis2 = run_luby_mis_arrays(
+                    c_indptr, c_indices, seed=self._seed * 2_000_003 + index
+                )
+                implicated = set(zip(key_u.tolist(), key_v.tolist()))
+                keep = {
+                    (int(key_u[i]), int(key_v[i]))
+                    for i in mis2.independent_set
+                }
                 mis2_rounds, mis2_messages = mis2.engine_rounds, mis2.messages
             else:
+                conflict = build_conflict_graph(pairs)
+                implicated = set(conflict)
                 # Conflict-graph nodes are *edges* hosted by alive cluster
                 # heads: they suffer the plan's link faults but cannot
                 # crash (a dead host already removed its edges above).
@@ -675,7 +729,7 @@ class DistributedRelaxedGreedy:
             )
             for u, v, w in added:
                 key = (u, v) if u < v else (v, u)
-                if key in conflict and key not in keep:
+                if key in implicated and key not in keep:
                     spanner.remove_edge(u, v)
                     removed.append((u, v, w))
         ledger.charge(

@@ -44,6 +44,15 @@ class LeaderElection(BatchProtocol):
 
     name = "leader-election"
 
+    # Shard contract: best/spoke are per-node, the round budget counts
+    # down identically everywhere.
+    supports_shard = True
+    batch_state_sync = {
+        "best": "node",
+        "spoke": "node",
+        "age": "replicated",
+    }
+
     def __init__(self, rounds: int) -> None:
         if rounds < 1:
             raise ProtocolError(f"rounds must be >= 1, got {rounds}")
@@ -85,8 +94,9 @@ class LeaderElection(BatchProtocol):
             spoke=np.ones(net.num_nodes, dtype=bool),
             age=0,
         )
-        # A bare int id is a one-word payload.
-        net.post(net.num_slots, net.num_slots)
+        # A bare int id is a one-word payload; one per incident slot,
+        # billed per sender for the sharded tier's owned masking.
+        net.post_nodes(net.degrees, net.degrees)
 
     def on_round_batch(self, net: BatchContext) -> None:
         st = net.state
@@ -110,8 +120,8 @@ class LeaderElection(BatchProtocol):
             st["spoke"] = improved
             return
         st["spoke"] = improved
-        traffic = int(net.degrees[improved].sum())
-        net.post(traffic, traffic)
+        improved_deg = np.where(improved, net.degrees, 0)
+        net.post_nodes(improved_deg, improved_deg)
 
     def outputs_batch(self, net: BatchContext) -> dict[int, int]:
         best = net.state["best"]

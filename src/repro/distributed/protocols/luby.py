@@ -88,6 +88,18 @@ class LubyMIS(BatchProtocol):
 
     name = "luby-mis"
 
+    # Shard contract: priorities hash global labels (identical in every
+    # shard), iteration/phase counters advance in lockstep, statuses are
+    # per-node, and slot_active rows are owner-authoritative.
+    supports_shard = True
+    batch_state_sync = {
+        "status": "node",
+        "priority": "replicated",
+        "iteration": "replicated",
+        "resolve_next": "replicated",
+        "slot_active": "slot",
+    }
+
     def __init__(self, seed: int = 0) -> None:
         self._seed = seed
         self._state = seed_state(seed)
@@ -247,14 +259,17 @@ class LubyMIS(BatchProtocol):
         )
         status[wins] = _S_IN_MIS
 
-        # Fate notifications to the (already OUT-pruned) active sets.
+        # Fate notifications to the (already OUT-pruned) active sets,
+        # billed per sender so the sharded tier can mask to owned nodes.
         active_deg = segment_sum(slot_active.astype(np.int64), net.indptr)
-        n_win = int(active_deg[wins].sum())
-        n_und = int(active_deg[net.active & ~wins].sum())
-        net.post(
-            n_win + n_und,
-            n_win * _FATE_WORDS[_S_IN_MIS]
-            + n_und * _FATE_WORDS[_S_UNDECIDED],
+        undecided = net.active & ~wins
+        net.post_nodes(
+            np.where(wins | undecided, active_deg, 0),
+            active_deg
+            * (
+                wins * _FATE_WORDS[_S_IN_MIS]
+                + undecided * _FATE_WORDS[_S_UNDECIDED]
+            ),
         )
 
     def _propose_batch(self, net: BatchContext) -> None:
@@ -293,11 +308,10 @@ class LubyMIS(BatchProtocol):
         # to the winner-pruned active sets, which may still include
         # neighbors halting this very round (exactly as in the scalar
         # tier, where those sends land in halted inboxes unread).
-        n_out = int(active_deg[out_nodes].sum())
-        n_bid = int(active_deg[bidders].sum())
-        net.post(
-            n_out + n_bid,
-            n_out * _FATE_WORDS[_S_OUT] + n_bid * _BID_WORDS,
+        net.post_nodes(
+            np.where(out_nodes | bidders, active_deg, 0),
+            active_deg
+            * (out_nodes * _FATE_WORDS[_S_OUT] + bidders * _BID_WORDS),
         )
 
         halted_now = winners | out_nodes | joiners

@@ -1,0 +1,730 @@
+"""Sharded batch tier: the round engine over a spatial partition.
+
+This module scales :class:`repro.distributed.engine.SynchronousNetwork`'s
+batch tier past one core and one address space.  The CSR topology is
+partitioned (spatially via :func:`grid_partition` when coordinates exist,
+:func:`contiguous_partition` otherwise) and each shard runs the full
+batch engine over a *ball* around its owned nodes:
+
+* **owned rows** -- the shard's nodes, with their full adjacency rows;
+* **1-hop halo rows** -- neighbors of owned nodes, also with full rows
+  (their within-round outboxes feed owned inboxes, and computing an
+  outbox may read the whole row plus 2-hop node state);
+* **2-hop rim** -- neighbors of halo nodes, present with *empty* rows
+  (only their node-kind state is ever read).
+
+Everything lives in the **global index space**: every shard's context
+has ``labels = arange(n)`` and a full-length ``indptr`` whose non-ball
+rows are empty, so index-valued state (BFS parents, MIS winner ids)
+transfers between shards verbatim.
+
+After round 0 and after every round, shards exchange boundary state and
+the owner of each node overwrites everyone else's copy (per-round
+owner-authoritative sync, see :attr:`BatchProtocol.batch_state_sync`).
+The correctness induction: an owned node's update reads only (a) its own
+row's exchange, whose reverse slots sit on 1-hop rows -- their outbox is
+a function of synced 1-hop state, full 1-hop rows, and synced 2-hop node
+state; (b) 1-hop node state (synced); (c) its own slots (locally exact).
+Every locally-computed halo/rim value is overwritten by sync, so it
+never needs to be locally correct.
+
+Accounting stays **bit-identical** to the single-process batch tier:
+every global message has exactly one owned sender, shards bill only
+owned senders (:meth:`BatchContext.post_nodes` / ``post_slots``), a
+global round counts iff *any* shard's owned senders spoke, the loop runs
+while the union of owned-active sets is non-empty, and outputs merge in
+ascending node order -- so rounds, messages, words and outputs (insertion
+order included) equal the single-process ``RunResult`` exactly, for any
+shard count and any partition.  The partition only moves the
+performance needle (halo size), never the results.
+
+Execution backends: ``jobs=1`` runs every shard sequentially in-process
+(the deterministic test path); ``jobs>1`` runs shards on a persistent
+fork-based worker pool (one long-lived process per job, reused across
+runs -- e.g. across the many MIS invocations of one distributed spanner
+build), shipping per-run topology through ``multiprocessing.
+shared_memory`` when large and exchanging only thin boundary payloads
+per round.  Both backends share the exact same ``ShardState`` sync code.
+"""
+
+from __future__ import annotations
+
+import atexit
+import pickle
+import traceback
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..arrayops import run_expand
+from ..exceptions import ProtocolError, SimulationLimitError
+from ..geometry.grid import GridIndex
+from ..geometry.points import PointSet
+from .engine import BatchContext, BatchProtocol, RunResult
+
+__all__ = [
+    "contiguous_partition",
+    "grid_partition",
+    "ShardPlan",
+    "ShardSpec",
+    "ShardState",
+    "run_sharded",
+    "shutdown_pools",
+]
+
+# Reserved payload key carrying the engine-level active mask.
+_ACTIVE = "__active__"
+
+# Ship the per-run load payload through shared memory above this size
+# (below it, pipe pickling is cheaper than an shm round trip).
+_SHM_MIN_BYTES = 1 << 20
+
+
+# ----------------------------------------------------------------------
+# Partitions
+# ----------------------------------------------------------------------
+def contiguous_partition(n: int, shards: int) -> np.ndarray:
+    """Balanced contiguous owner array: node ``i`` belongs to shard
+    ``i * shards // n``.
+
+    The fallback partition for bare CSR topologies (e.g. the proximity
+    graph ``J``, whose node ids are the underlying point ids, so
+    contiguous ranges are still loosely spatial for grid-ordered point
+    sets).  Any partition yields identical results; only halo sizes --
+    i.e. speed -- differ.
+    """
+    if shards < 1:
+        raise ProtocolError(f"shards must be >= 1, got {shards}")
+    if n <= 0:
+        return np.empty(0, dtype=np.int64)
+    return (np.arange(n, dtype=np.int64) * shards) // n
+
+
+def grid_partition(
+    points: PointSet, shards: int, *, cell_width: float = 1.0
+) -> np.ndarray:
+    """Spatial owner array from the grid-cell geometry.
+
+    Buckets points with :class:`GridIndex` (cell width defaults to the
+    unit-disk radius, so a shard's halo is at most one cell ring thick),
+    then assigns whole cells to shards in cell-id order, balancing point
+    counts.  Returns an ``(n,)`` int64 owner array for
+    :meth:`SynchronousNetwork.run`'s ``partition`` parameter.
+    """
+    if shards < 1:
+        raise ProtocolError(f"shards must be >= 1, got {shards}")
+    n = points.coords.shape[0]
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    if shards == 1:
+        return np.zeros(n, dtype=np.int64)
+    index = GridIndex(points, cell_width)
+    order, starts, counts = index.cell_buckets()
+    before = (starts[:-1]).astype(np.int64)  # points in earlier cells
+    cell_shard = np.minimum((before * shards) // n, shards - 1)
+    owner = np.empty(n, dtype=np.int64)
+    owner[order] = np.repeat(cell_shard, counts)
+    return owner
+
+
+# ----------------------------------------------------------------------
+# Plan
+# ----------------------------------------------------------------------
+@dataclass
+class ShardSpec:
+    """One shard's slice of the plan (what a worker needs to run it).
+
+    ``labels`` is the full global label array (shared, read-only);
+    ``indptr``/``indices``/``rev`` are the shard-local CSR -- full rows
+    for the owned + 1-hop ball, empty rows elsewhere -- in shard-local
+    slot space.  The push/pull maps are precomputed sync indices: node
+    maps are compact node positions, slot maps are shard-local slot ids
+    aligned pairwise (both sides enumerate the same halo rows in the
+    same order, so a sync is one fancy-index gather and one scatter).
+    """
+
+    shard: int
+    labels: np.ndarray
+    indptr: np.ndarray
+    indices: np.ndarray
+    rev: np.ndarray
+    owned: np.ndarray
+    owned_positions: np.ndarray
+    ball: np.ndarray
+    node_pull: dict[int, np.ndarray] = field(default_factory=dict)
+    node_push: dict[int, np.ndarray] = field(default_factory=dict)
+    slot_pull: dict[int, np.ndarray] = field(default_factory=dict)
+    slot_push: dict[int, np.ndarray] = field(default_factory=dict)
+
+
+@dataclass
+class ShardPlan:
+    """A validated partition plus every shard's :class:`ShardSpec`."""
+
+    owner: np.ndarray
+    shards: int
+    specs: list[ShardSpec]
+
+    @staticmethod
+    def build(
+        labels: np.ndarray,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        owner: np.ndarray,
+        shards: int,
+    ) -> "ShardPlan":
+        """Construct shard contexts and sync maps from a global CSR.
+
+        ``owner`` maps each compact node position to its shard.  The
+        global ``rev`` is not needed: each shard's reverse-slot
+        permutation is recomputed over its own slot subset (reverse
+        slots of 1-hop rows' edges into the rim do not exist locally and
+        are pointed at themselves -- their exchanged values are garbage
+        by construction and overwritten by sync).
+        """
+        n = labels.size
+        owner = np.asarray(owner, dtype=np.int64)
+        if owner.shape != (n,):
+            raise ProtocolError(
+                f"partition must have shape ({n},), got {owner.shape}"
+            )
+        if n and (owner.min() < 0 or owner.max() >= shards):
+            raise ProtocolError(
+                f"partition values must lie in [0, {shards}), "
+                f"got [{int(owner.min())}, {int(owner.max())}]"
+            )
+        degrees = np.diff(indptr)
+        g_sources = np.repeat(np.arange(n, dtype=np.int64), degrees)
+
+        owned_masks: list[np.ndarray] = []
+        full_masks: list[np.ndarray] = []
+        ball_masks: list[np.ndarray] = []
+        specs: list[ShardSpec] = []
+        for s in range(shards):
+            owned = owner == s
+            full = owned.copy()
+            full[indices[owned[g_sources]]] = True  # + 1-hop halo
+            ball = full.copy()
+            ball[indices[full[g_sources]]] = True  # + 2-hop rim
+            owned_masks.append(owned)
+            full_masks.append(full)
+            ball_masks.append(ball)
+
+            row_counts = np.where(full, degrees, 0)
+            s_indptr = np.zeros(n + 1, dtype=np.int64)
+            np.cumsum(row_counts, out=s_indptr[1:])
+            slot_sel = full[g_sources]
+            s_indices = indices[slot_sel]
+            s_src = g_sources[slot_sel]
+            key_fwd = s_src * n + s_indices
+            key_rev = s_indices * n + s_src
+            pos = np.minimum(
+                np.searchsorted(key_fwd, key_rev),
+                max(key_fwd.size - 1, 0),
+            )
+            if key_fwd.size:
+                present = key_fwd[pos] == key_rev
+                s_rev = np.where(
+                    present, pos, np.arange(key_fwd.size, dtype=np.int64)
+                )
+            else:
+                s_rev = pos
+            specs.append(
+                ShardSpec(
+                    shard=s,
+                    labels=labels,
+                    indptr=s_indptr,
+                    indices=s_indices,
+                    rev=s_rev,
+                    owned=owned,
+                    owned_positions=np.flatnonzero(owned),
+                    ball=ball,
+                )
+            )
+
+        # Pairwise sync maps.  Node values at shard s's ball positions
+        # owned by t flow t -> s; slot values of s's halo rows owned by
+        # t flow t -> s, aligned because both shards hold the identical
+        # full global row.
+        for s in range(shards):
+            for t in range(shards):
+                if s == t:
+                    continue
+                node_pos = np.flatnonzero(ball_masks[s] & owned_masks[t])
+                if node_pos.size:
+                    specs[s].node_pull[t] = node_pos
+                    specs[t].node_push[s] = node_pos
+                halo_rows = np.flatnonzero(
+                    full_masks[s] & ~owned_masks[s] & owned_masks[t]
+                )
+                if halo_rows.size:
+                    row_deg = degrees[halo_rows]
+                    specs[s].slot_pull[t] = run_expand(
+                        specs[s].indptr[halo_rows], row_deg
+                    )
+                    specs[t].slot_push[s] = run_expand(
+                        specs[t].indptr[halo_rows], row_deg
+                    )
+        return ShardPlan(owner=owner, shards=shards, specs=specs)
+
+
+# ----------------------------------------------------------------------
+# Per-shard execution + sync (shared by both backends)
+# ----------------------------------------------------------------------
+def _extract_keys(
+    keys: np.ndarray, nodes: np.ndarray, stride: int
+) -> np.ndarray:
+    """Entries of a sorted ``node * stride + fact`` key array belonging
+    to the (sorted) ``nodes`` -- the ``node_keys`` sync extraction."""
+    if keys.size == 0 or nodes.size == 0:
+        return keys[:0]
+    los = np.searchsorted(keys, nodes * stride)
+    his = np.searchsorted(keys, (nodes + 1) * stride)
+    return keys[run_expand(los, his - los)]
+
+
+class ShardState:
+    """One shard's engine context, protocol hooks and sync endpoints."""
+
+    def __init__(self, spec: ShardSpec, protocol: BatchProtocol) -> None:
+        self.spec = spec
+        self.protocol = protocol
+        self.sync_spec = dict(protocol.batch_state_sync)
+        self.net = BatchContext(
+            spec.labels, spec.indptr, spec.indices, spec.rev, owned=spec.owned
+        )
+
+    # -- rounds --------------------------------------------------------
+    def start(self) -> tuple[bool, int]:
+        self.net._sent_in_round = False
+        self.protocol.on_start_batch(self.net)
+        undeclared = set(self.net.state) - set(self.sync_spec)
+        if undeclared:
+            raise ProtocolError(
+                f"{self.protocol.name}: state keys without a "
+                f"batch_state_sync kind: {sorted(undeclared)}"
+            )
+        return self._stats()
+
+    def round(self) -> tuple[bool, int]:
+        self.net._sent_in_round = False
+        self.protocol.on_round_batch(self.net)
+        return self._stats()
+
+    def _stats(self) -> tuple[bool, int]:
+        """(spoke this round, owned nodes still active)."""
+        owned_active = int(np.count_nonzero(self.net.active[self.spec.owned]))
+        return bool(self.net._sent_in_round), owned_active
+
+    # -- sync ----------------------------------------------------------
+    def _stride(self) -> int:
+        return int(self.net.state.get("stride", 1))
+
+    def collect(self) -> dict[int, dict[str, Any]]:
+        """Owner-authoritative payloads for every peer that mirrors a
+        piece of this shard's owned state."""
+        state = self.net.state
+        out: dict[int, dict[str, Any]] = {}
+        for peer, pos in self.spec.node_push.items():
+            pkg: dict[str, Any] = {_ACTIVE: self.net.active[pos]}
+            for key, kind in self.sync_spec.items():
+                if kind == "node":
+                    pkg[key] = state[key][pos]
+                elif kind == "node_keys":
+                    pkg[key] = _extract_keys(state[key], pos, self._stride())
+            out[peer] = pkg
+        for peer, src in self.spec.slot_push.items():
+            pkg = out.setdefault(peer, {})
+            for key, kind in self.sync_spec.items():
+                if kind == "slot":
+                    pkg[key] = state[key][src]
+        return out
+
+    def apply(self, incoming: dict[int, dict[str, Any]]) -> None:
+        """Overwrite every non-owned mirrored value with its owner's."""
+        state = self.net.state
+        key_pieces: dict[str, list[np.ndarray]] = {
+            key: [
+                _extract_keys(
+                    state[key], self.spec.owned_positions, self._stride()
+                )
+            ]
+            for key, kind in self.sync_spec.items()
+            if kind == "node_keys"
+        }
+        for peer, pkg in incoming.items():
+            pos = self.spec.node_pull.get(peer)
+            if pos is not None:
+                self.net.active[pos] = pkg[_ACTIVE]
+            dst = self.spec.slot_pull.get(peer)
+            for key, kind in self.sync_spec.items():
+                if key not in pkg:
+                    continue
+                if kind == "node":
+                    state[key][pos] = pkg[key]
+                elif kind == "slot":
+                    state[key][dst] = pkg[key]
+                elif kind == "node_keys":
+                    key_pieces[key].append(pkg[key])
+        for key, pieces in key_pieces.items():
+            merged = np.concatenate(pieces)
+            merged.sort()
+            state[key] = merged
+
+    # -- results -------------------------------------------------------
+    def outputs(self) -> tuple[int, int, dict[int, Any]]:
+        """(messages, words, owned outputs in ascending node order)."""
+        full = self.protocol.outputs_batch(self.net)
+        labels = self.spec.labels
+        owned_out = {
+            int(labels[p]): full[int(labels[p])]
+            for p in self.spec.owned_positions.tolist()
+        }
+        return self.net._messages, self.net._words, owned_out
+
+
+# ----------------------------------------------------------------------
+# In-process backend (jobs=1)
+# ----------------------------------------------------------------------
+class _InProcessGroup:
+    """Runs every shard sequentially in this process -- the
+    deterministic reference backend the equality tests pin against."""
+
+    def __init__(self, plan: ShardPlan, protocol: BatchProtocol) -> None:
+        # Protocol instances carry run-independent config only (their
+        # mutable state lives in each context's state bag), so one
+        # instance is safely shared across in-process shards.
+        self.states = [ShardState(spec, protocol) for spec in plan.specs]
+
+    def start(self) -> tuple[bool, int]:
+        results = [st.start() for st in self.states]
+        self._route()
+        return _aggregate(results)
+
+    def round(self) -> tuple[bool, int]:
+        results = [st.round() for st in self.states]
+        self._route()
+        return _aggregate(results)
+
+    def _route(self) -> None:
+        outbound = {s: st.collect() for s, st in enumerate(self.states)}
+        for s, st in enumerate(self.states):
+            st.apply(
+                {t: pkgs[s] for t, pkgs in outbound.items() if s in pkgs}
+            )
+
+    def finish(self) -> tuple[int, int, list[dict[int, Any]]]:
+        stats = [st.outputs() for st in self.states]
+        return (
+            sum(x[0] for x in stats),
+            sum(x[1] for x in stats),
+            [x[2] for x in stats],
+        )
+
+    def release(self) -> None:
+        pass
+
+
+def _aggregate(results) -> tuple[bool, int]:
+    return any(r[0] for r in results), sum(r[1] for r in results)
+
+
+# ----------------------------------------------------------------------
+# Worker-pool backend (jobs>1)
+# ----------------------------------------------------------------------
+def _worker_main(conn) -> None:  # pragma: no cover - runs in workers
+    """Long-lived shard host: loads specs per run, then answers
+    start/step/outputs commands until told to quit."""
+    states: dict[int, ShardState] = {}
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            break
+        cmd = msg[0]
+        try:
+            if cmd in ("load-pickle", "load-shm"):
+                if cmd == "load-pickle":
+                    protocol, specs = pickle.loads(msg[1])
+                else:
+                    from multiprocessing import resource_tracker
+                    from multiprocessing import shared_memory
+
+                    shm = shared_memory.SharedMemory(name=msg[1])
+                    try:
+                        protocol, specs = pickle.loads(bytes(shm.buf[: msg[2]]))
+                    finally:
+                        shm.close()
+                        # Attaching registers the segment with the
+                        # resource tracker even though the parent owns
+                        # (and unlinks) it; unregister or the tracker
+                        # reports every load as leaked at shutdown.
+                        try:
+                            resource_tracker.unregister(
+                                shm._name, "shared_memory"
+                            )
+                        except Exception:
+                            pass
+                states = {
+                    spec.shard: ShardState(spec, protocol) for spec in specs
+                }
+                conn.send(("ok", None))
+            elif cmd == "start":
+                results = {sid: st.start() for sid, st in states.items()}
+                outbound = {sid: st.collect() for sid, st in states.items()}
+                conn.send(("ok", (results, outbound)))
+            elif cmd == "step":
+                for sid, inbox in msg[1].items():
+                    states[sid].apply(inbox)
+                results = {sid: st.round() for sid, st in states.items()}
+                outbound = {sid: st.collect() for sid, st in states.items()}
+                conn.send(("ok", (results, outbound)))
+            elif cmd == "outputs":
+                conn.send(
+                    ("ok", {sid: st.outputs() for sid, st in states.items()})
+                )
+            elif cmd == "unload":
+                states = {}
+            elif cmd == "quit":
+                break
+        except BaseException:
+            try:
+                conn.send(("error", traceback.format_exc()))
+            except (BrokenPipeError, OSError):
+                break
+    conn.close()
+
+
+class _ShardPool:
+    """A persistent set of fork-spawned worker processes."""
+
+    def __init__(self, jobs: int) -> None:
+        import multiprocessing as mp
+
+        ctx = mp.get_context("fork")
+        self.jobs = jobs
+        self.workers: list[tuple[Any, Any]] = []
+        for _ in range(jobs):
+            parent, child = ctx.Pipe()
+            proc = ctx.Process(
+                target=_worker_main, args=(child,), daemon=True
+            )
+            proc.start()
+            child.close()
+            self.workers.append((proc, parent))
+
+    def alive(self) -> bool:
+        return all(proc.is_alive() for proc, _ in self.workers)
+
+    def close(self) -> None:
+        for proc, conn in self.workers:
+            try:
+                conn.send(("quit",))
+            except (BrokenPipeError, OSError):
+                pass
+            conn.close()
+        for proc, _ in self.workers:
+            proc.join(timeout=2.0)
+            if proc.is_alive():
+                proc.terminate()
+        self.workers = []
+
+
+_POOLS: dict[int, _ShardPool] = {}
+
+
+def _get_pool(jobs: int) -> _ShardPool:
+    pool = _POOLS.get(jobs)
+    if pool is not None and pool.alive():
+        return pool
+    if pool is not None:
+        pool.close()
+    pool = _ShardPool(jobs)
+    _POOLS[jobs] = pool
+    return pool
+
+
+def shutdown_pools() -> None:
+    """Terminate every cached worker pool (tests and interpreter exit)."""
+    for pool in _POOLS.values():
+        pool.close()
+    _POOLS.clear()
+
+
+atexit.register(shutdown_pools)
+
+
+def _ship(conn, payload: Any):
+    """Send a large load payload, via shared memory when it pays off.
+
+    Returns the shm handle the caller must unlink after the worker acks
+    (``None`` on the plain-pipe path or when shm is unavailable).
+    """
+    data = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(data) >= _SHM_MIN_BYTES:
+        try:
+            from multiprocessing import shared_memory
+
+            shm = shared_memory.SharedMemory(create=True, size=len(data))
+        except Exception:
+            shm = None
+        if shm is not None:
+            shm.buf[: len(data)] = data
+            conn.send(("load-shm", shm.name, len(data)))
+            return shm
+    conn.send(("load-pickle", data))
+    return None
+
+
+class _PoolGroup:
+    """Drives one sharded run on a persistent worker pool.
+
+    Shard ``i`` lives on worker ``i % jobs``; the coordinator routes
+    each round's thin boundary payloads between workers (sync-then-step
+    is one message pair per worker per round).
+    """
+
+    def __init__(
+        self, plan: ShardPlan, protocol: BatchProtocol, pool: _ShardPool
+    ) -> None:
+        self.pool = pool
+        self.shard_worker = {
+            spec.shard: spec.shard % pool.jobs for spec in plan.specs
+        }
+        self.used = sorted(set(self.shard_worker.values()))
+        by_worker: dict[int, list[ShardSpec]] = {w: [] for w in self.used}
+        for spec in plan.specs:
+            by_worker[self.shard_worker[spec.shard]].append(spec)
+        handles = []
+        for w in self.used:
+            conn = self.pool.workers[w][1]
+            handles.append(_ship(conn, (protocol, by_worker[w])))
+        for w in self.used:
+            self._recv(w)
+        for shm in handles:
+            if shm is not None:
+                shm.close()
+                shm.unlink()
+        self._pending: dict[int, dict[int, dict[int, Any]]] = {}
+
+    def _recv(self, worker: int) -> Any:
+        conn = self.pool.workers[worker][1]
+        try:
+            status, payload = conn.recv()
+        except (EOFError, OSError) as exc:
+            raise RuntimeError(
+                "shard worker died mid-run (pool will be rebuilt)"
+            ) from exc
+        if status == "error":
+            raise RuntimeError(f"shard worker failed:\n{payload}")
+        return payload
+
+    def start(self) -> tuple[bool, int]:
+        for w in self.used:
+            self.pool.workers[w][1].send(("start",))
+        return self._absorb([self._recv(w) for w in self.used])
+
+    def round(self) -> tuple[bool, int]:
+        for w in self.used:
+            self.pool.workers[w][1].send(("step", self._pending.get(w, {})))
+        return self._absorb([self._recv(w) for w in self.used])
+
+    def _absorb(self, replies) -> tuple[bool, int]:
+        results: dict[int, tuple[bool, int]] = {}
+        pending: dict[int, dict[int, dict[int, Any]]] = {}
+        for reply in replies:
+            shard_results, outbound = reply
+            results.update(shard_results)
+            for t, pkgs in outbound.items():
+                for s, pkg in pkgs.items():
+                    w = self.shard_worker[s]
+                    pending.setdefault(w, {}).setdefault(s, {})[t] = pkg
+        self._pending = pending
+        return _aggregate(list(results.values()))
+
+    def finish(self) -> tuple[int, int, list[dict[int, Any]]]:
+        for w in self.used:
+            self.pool.workers[w][1].send(("outputs",))
+        merged: dict[int, tuple[int, int, dict[int, Any]]] = {}
+        for w in self.used:
+            merged.update(self._recv(w))
+        per_shard = [merged[s] for s in sorted(merged)]
+        return (
+            sum(x[0] for x in per_shard),
+            sum(x[1] for x in per_shard),
+            [x[2] for x in per_shard],
+        )
+
+    def release(self) -> None:
+        for w in self.used:
+            try:
+                self.pool.workers[w][1].send(("unload",))
+            except (BrokenPipeError, OSError):
+                pass
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+def run_sharded(
+    arrays: tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+    protocol: BatchProtocol,
+    *,
+    shards: int,
+    jobs: int = 1,
+    partition: np.ndarray | None = None,
+    max_rounds: int = 10_000,
+) -> RunResult:
+    """Run a shard-capable protocol over a partitioned topology.
+
+    ``arrays`` is the engine's ``(labels, indptr, indices, rev)``
+    snapshot.  Called via :meth:`SynchronousNetwork.run`; see the module
+    docstring for the execution and equality contract.
+    """
+    labels, indptr, indices, _ = arrays
+    n = labels.size
+    if partition is None:
+        owner = contiguous_partition(n, shards)
+    else:
+        owner = np.asarray(partition, dtype=np.int64)
+    plan = ShardPlan.build(labels, indptr, indices, owner, shards)
+
+    # More workers than shards is pointless; more workers than cores is
+    # the caller's call (oversubscription still overlaps with the
+    # coordinator's routing work).
+    jobs = max(1, min(int(jobs), shards))
+    if jobs > 1:
+        try:
+            group: Any = _PoolGroup(plan, protocol, _get_pool(jobs))
+        except (ValueError, OSError, RuntimeError):
+            # No fork on this platform (or the pool refused to come up):
+            # the sequential backend is bit-identical, just slower.
+            group = _InProcessGroup(plan, protocol)
+    else:
+        group = _InProcessGroup(plan, protocol)
+
+    try:
+        sent, active_total = group.start()
+        rounds = 1 if sent else 0
+        while active_total:
+            if rounds >= max_rounds:
+                raise SimulationLimitError(
+                    f"{protocol.name}: exceeded {max_rounds} rounds "
+                    f"({active_total} nodes still active)"
+                )
+            sent, active_total = group.round()
+            rounds += 1
+        messages, words, owned_outputs = group.finish()
+    finally:
+        group.release()
+
+    outputs: dict[int, Any] = {}
+    labels_list = labels.tolist()
+    owner_list = owner.tolist()
+    for pos in range(n):
+        lab = int(labels_list[pos])
+        outputs[lab] = owned_outputs[owner_list[pos]][lab]
+    return RunResult(
+        rounds=rounds, messages=messages, words=words, outputs=outputs
+    )

@@ -71,23 +71,37 @@ def run_cell(
     *,
     epsilon: float = 0.5,
     alpha: float = 1.0,
+    shards: int | None = None,
 ) -> dict[str, Any]:
     """Build + assess one grid cell; returns a flat metrics row.
+
+    With ``shards`` set the cell runs the *distributed* builder sharded
+    across that many worker processes (1 = single-process distributed)
+    and additionally reports the round/message ledger; the spanner
+    itself is identical at every shard count, so the axis isolates the
+    wall-clock scaling.
 
     Module-level (and keyword-light) so process-pool workers can receive
     it by reference.
     """
-    from ..core.relaxed_greedy import RelaxedGreedySpanner
-
     row: dict[str, Any] = {"scenario": scenario, "n": n, "seed": seed}
     workload = make_workload(scenario, n, seed, alpha=alpha)
     params = SpannerParams.from_epsilon(
         epsilon, alpha=alpha, dim=workload.points.dim
     )
-    with stopwatch(row, "build_s"):
-        result = RelaxedGreedySpanner(params).build(
-            workload.graph, workload.points.distance
+    if shards is None:
+        from ..core.relaxed_greedy import RelaxedGreedySpanner
+
+        builder = RelaxedGreedySpanner(params)
+    else:
+        from ..distributed.dist_spanner import DistributedRelaxedGreedy
+
+        row["shards"] = int(shards)
+        builder = DistributedRelaxedGreedy(
+            params, seed=seed, jobs=int(shards), points=workload.points
         )
+    with stopwatch(row, "build_s"):
+        result = builder.build(workload.graph, workload.points.distance)
     with stopwatch(row, "assess_s"):
         quality = assess(workload.graph, result.spanner)
     row.update(
@@ -96,9 +110,14 @@ def run_cell(
         stretch=round(quality.stretch, 6),
         max_degree=quality.max_degree,
         lightness=round(quality.lightness, 6),
-        phases=result.executed_phases,
+        phases=len(result.phases),
         passed=bool(quality.stretch <= params.t * (1.0 + 1e-9)),
     )
+    if shards is not None:
+        row.update(
+            rounds=result.ledger.total_rounds,
+            messages=result.ledger.total_messages,
+        )
     return row
 
 
@@ -151,8 +170,10 @@ def run_experiment_cell(
 
 
 def _run_cell_args(args: tuple) -> dict[str, Any]:
-    scenario, n, seed, epsilon, alpha = args
-    return run_cell(scenario, n, seed, epsilon=epsilon, alpha=alpha)
+    scenario, n, seed, epsilon, alpha, shards = args
+    return run_cell(
+        scenario, n, seed, epsilon=epsilon, alpha=alpha, shards=shards
+    )
 
 
 def _run_experiment_cell_args(args: tuple) -> dict[str, Any]:
@@ -170,6 +191,7 @@ def run_sweep(
     jobs: int = 1,
     experiments: Sequence[str] = (),
     faults: Sequence[str] = (),
+    shard_counts: Sequence[int] = (),
 ) -> dict[str, Any]:
     """Execute the full grid and aggregate one report dict.
 
@@ -179,6 +201,9 @@ def run_sweep(
     regardless of completion order.  ``faults`` adds a failure-scenario
     axis for experiment cells (bodies without a ``faults`` kwarg simply
     run once per fault cell under their default conditions).
+    ``shard_counts`` adds a sharded distributed-build axis to build
+    cells: each cell builds with the distributed protocol fanned over
+    that many worker processes, so one sweep captures the scaling curve.
     """
     if experiments:
         grid = [
@@ -189,9 +214,14 @@ def run_sweep(
         ]
         worker = _run_experiment_cell_args
     else:
+        shard_axis: Sequence[int | None] = (
+            [int(c) for c in shard_counts] if shard_counts else (None,)
+        )
         grid = [
-            (s, int(n), int(seed), float(epsilon), float(alpha))
-            for s, n, seed in itertools.product(scenarios, sizes, seeds)
+            (s, int(n), int(seed), float(epsilon), float(alpha), c)
+            for s, n, seed, c in itertools.product(
+                scenarios, sizes, seeds, shard_axis
+            )
         ]
         worker = _run_cell_args
     if jobs > 1 and len(grid) > 1:
@@ -229,6 +259,7 @@ def run_sweep(
         "seeds": [int(s) for s in seeds],
         "experiments": list(experiments),
         "faults": list(faults),
+        "shard_counts": [int(c) for c in shard_counts],
         "num_cells": len(rows),
         "passed": all(r["passed"] for r in rows),
         "cells": rows,
@@ -245,8 +276,8 @@ def save_sweep(report: dict[str, Any], path: str | Path) -> Path:
 
 
 #: Cell identity: the grid coordinates (build cells lack "experiment"
-#: and "fault").
-_IDENTITY_KEYS = ("experiment", "scenario", "n", "seed", "fault")
+#: and "fault"; only sharded build cells carry "shards").
+_IDENTITY_KEYS = ("experiment", "scenario", "n", "seed", "fault", "shards")
 
 
 def _cell_key(row: dict[str, Any]) -> tuple:
@@ -344,6 +375,14 @@ def main(argv: list[str] | None = None) -> int:
             "experiment cells"
         ),
     )
+    parser.add_argument(
+        "--shards", default="",
+        help=(
+            "comma-separated shard counts (e.g. 1,2,4): build cells run "
+            "the sharded distributed builder at each count, adding a "
+            "scaling axis to the grid (build cells only)"
+        ),
+    )
     parser.add_argument("--epsilon", type=float, default=0.5)
     parser.add_argument("--alpha", type=float, default=1.0)
     parser.add_argument(
@@ -397,12 +436,25 @@ def main(argv: list[str] | None = None) -> int:
                 file=sys.stderr,
             )
             return 2
+    shard_counts = [int(x) for x in _csv(args.shards)]
+    if shard_counts:
+        if experiments:
+            print(
+                "--shards applies to build cells only (drop "
+                "--experiments to sweep the sharded builder)",
+                file=sys.stderr,
+            )
+            return 2
+        if min(shard_counts) < 1:
+            print("--shards counts must be >= 1", file=sys.stderr)
+            return 2
     sizes = [int(x) for x in _csv(args.sizes)]
     seeds = [int(x) for x in _csv(args.seeds)]
     report = run_sweep(
         scenarios, sizes, seeds,
         epsilon=args.epsilon, alpha=args.alpha, jobs=args.jobs,
         experiments=experiments, faults=faults,
+        shard_counts=shard_counts,
     )
     print(format_table(report["cells"]))
     if args.diff:

@@ -19,8 +19,11 @@ its consumers) relax tail edges natively, so the construction hot loop
 never materializes a full matrix between appends.  Dense kernels that
 need one complete scipy matrix call :meth:`CsrSnapshot.matrix` (what
 :meth:`Graph.csr` returns), which merges base + tail once and caches
-the result.  The tail folds into a fresh base when it outgrows a fixed
-fraction of the log (compaction), bounding tail scans; deletions and
+the result.  The tail folds into a fresh base *adaptively*: a work
+accumulator charges every tail lookup and layer merge, and compaction
+runs once the accumulated scan work would have paid for one rebuild --
+so append-only bursts stay O(changed) at any tail size while scan-heavy
+workloads fold exactly when folding is cheaper; deletions and
 weight overwrites still force a full base rebuild (one C-level pass,
 never a per-edge Python loop).  Snapshots handed out stay frozen: the
 log copies itself before any in-place perturbation (copy-on-write), so
@@ -41,9 +44,14 @@ __all__ = ["Graph", "CsrSnapshot"]
 #: Initial capacity of the append-log buffers.
 _LOG_MIN_CAPACITY = 16
 
-#: Compaction: the tail folds into the base once
-#: ``tail_rows * _TAIL_FOLD_DEN > log_rows`` (past 1/4 of the whole log).
-_TAIL_FOLD_DEN = 4
+#: Adaptive compaction: the tail folds into a fresh base once the
+#: cumulative tail-scan work since the last fold (charged by
+#: :meth:`CsrSnapshot.tail_neighbors` and by :meth:`CsrSnapshot.matrix`
+#: merges) reaches this multiple of the log size -- i.e. once consumers
+#: have spent about one O(m) base rebuild's worth of work on the tail.
+#: Appends alone never fold, so append-only bursts refresh in tail-sized
+#: time regardless of how large the tail grows relative to the log.
+_FOLD_WORK_FACTOR = 2
 
 
 class CsrSnapshot:
@@ -63,7 +71,7 @@ class CsrSnapshot:
     safe.
     """
 
-    __slots__ = ("base", "tail_src", "tail_dst", "tail_w", "_matrix")
+    __slots__ = ("base", "tail_src", "tail_dst", "tail_w", "_matrix", "_work")
 
     def __init__(
         self,
@@ -71,12 +79,16 @@ class CsrSnapshot:
         tail_src: np.ndarray,
         tail_dst: np.ndarray,
         tail_w: np.ndarray,
+        work_cell: list[int] | None = None,
     ) -> None:
         self.base = base
         self.tail_src = tail_src
         self.tail_dst = tail_dst
         self.tail_w = tail_w
         self._matrix = None
+        # Shared with the owning graph: cumulative tail-scan work since
+        # the last fold, driving the adaptive compaction policy.
+        self._work = [0] if work_cell is None else work_cell
 
     @property
     def num_tail_edges(self) -> int:
@@ -103,6 +115,10 @@ class CsrSnapshot:
         hi = np.searchsorted(self.tail_src, verts, side="right")
         counts = hi - lo
         idx = run_expand(lo, counts)
+        # Charge the scan (queries + hits) to the owning graph's fold
+        # accumulator: once consumers have spent about one base rebuild
+        # on tail lookups, the next refresh folds (adaptive compaction).
+        self._work[0] += verts.size + idx.size
         return counts, self.tail_dst[idx], self.tail_w[idx]
 
     def matrix(self):
@@ -123,6 +139,10 @@ class CsrSnapshot:
                     shape=self.base.shape,
                 ).tocsr()
                 self._matrix = self.base + delta
+                # One merge reads both layers and writes the combined
+                # matrix -- charge both so the next refresh folds
+                # instead of merging over and over.
+                self._work[0] += 2 * (self.base.nnz + self.tail_src.size)
         return self._matrix
 
     @property
@@ -155,6 +175,7 @@ class Graph:
         "_base_rows",
         "_snapshot",
         "_snapshot_rows",
+        "_tail_work",
     )
 
     def __init__(self, num_vertices: int) -> None:
@@ -182,6 +203,9 @@ class Graph:
         self._base_rows = 0
         self._snapshot: CsrSnapshot | None = None
         self._snapshot_rows = -1
+        # Tail-scan work accumulated since the last fold; shared with
+        # every snapshot handed out so scans on held snapshots count.
+        self._tail_work: list[int] = [0]
 
     # ------------------------------------------------------------------
     # Append-log plumbing
@@ -590,11 +614,16 @@ class Graph:
         This is the interchange format the sparse path kernels consume
         natively.  Refreshing after a ``k``-edge append burst builds
         only the tail (one O(k log k) sort of the new log rows) --
-        independent of the total edge count ``m``.  The tail folds into
-        a rebuilt base (one C-level O(m) pass) when it outgrows
-        ``1 / _TAIL_FOLD_DEN`` of the log, and on deletions or weight
-        overwrites, which invalidate the base outright.  Snapshots are
-        immutable and cached until the next mutation.
+        independent of the total edge count ``m``, and appends alone
+        *never* trigger a fold.  The tail folds into a rebuilt base
+        (one C-level O(m) pass) adaptively: once the cumulative
+        tail-scan work consumers have paid since the last fold
+        (:meth:`CsrSnapshot.tail_neighbors` lookups plus any
+        :meth:`CsrSnapshot.matrix` merges) reaches about one rebuild
+        (``_FOLD_WORK_FACTOR * m``), the next refresh compacts --
+        folding exactly when it has become the cheaper alternative.
+        Deletions and weight overwrites invalidate the base outright.
+        Snapshots are immutable and cached until the next mutation.
         """
         m = self._log_len
         if self._snapshot is not None and self._snapshot_rows == m:
@@ -604,7 +633,10 @@ class Graph:
         n = self.num_vertices
         base_ok = self._base_csr is not None and self._base_rows <= m
         tail_rows = m - self._base_rows if base_ok else m
-        if not base_ok or tail_rows * _TAIL_FOLD_DEN > m:
+        scans_exceed_rebuild = (
+            self._tail_work[0] >= _FOLD_WORK_FACTOR * m
+        )
+        if not base_ok or (tail_rows > 0 and scans_exceed_rebuild):
             # Compaction: fold everything into a fresh base.
             us, vs, ws = self.edges_arrays()
             self._base_csr = coo_matrix(
@@ -616,11 +648,13 @@ class Graph:
             ).tocsr()
             self._base_rows = m
             tail_rows = 0
+            self._tail_work[0] = 0
         if tail_rows == 0:
             empty_i = np.empty(0, dtype=np.int64)
             snapshot = CsrSnapshot(
                 self._base_csr, empty_i, empty_i,
                 np.empty(0, dtype=np.float64),
+                work_cell=self._tail_work,
             )
         else:
             lo = self._base_rows
@@ -632,7 +666,8 @@ class Graph:
             t_w = np.concatenate([dw, dw])
             order = np.lexsort((t_dst, t_src))
             snapshot = CsrSnapshot(
-                self._base_csr, t_src[order], t_dst[order], t_w[order]
+                self._base_csr, t_src[order], t_dst[order], t_w[order],
+                work_cell=self._tail_work,
             )
         self._snapshot = snapshot
         self._snapshot_rows = m

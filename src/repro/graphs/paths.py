@@ -49,6 +49,8 @@ __all__ = [
     "k_hop_subgraph",
     "shortest_path_tree",
     "grow_balls_in_order",
+    "multi_source_ball_lists",
+    "multi_source_ball_lists_reference",
     "multi_source_distances",
     "multi_source_trees",
     "pair_distances",
@@ -67,6 +69,10 @@ _BLOCK_ENTRIES = 4_000_000
 #: it one C-level merge costs less than per-round tail lookups; above
 #: it the O(m) merge is the dominant cost the tail layer exists to skip.
 _TAIL_NATIVE_MIN_NNZ = 65_536
+
+#: Bucket count of the delta-stepping ball kernel: the cutoff range is
+#: split into this many distance bands processed in ascending order.
+_BALL_BUCKETS = 16
 
 
 def _check_sources(graph: Graph, sources: Sequence[int]) -> np.ndarray:
@@ -249,25 +255,99 @@ def pair_distance_matrix(
     return out
 
 
+def _ball_search_setup(graph: Graph, sources: Sequence[int], cutoff: float):
+    """Shared preamble of the sparse ball kernels.
+
+    Validates inputs and resolves the two-layer snapshot policy: base
+    CSR rows expand natively with tail edges as extra per-round
+    candidates once the base is past the nnz crossover, else the
+    (cached) merged matrix is used -- identical relaxation multisets
+    either way (see :func:`multi_source_ball_lists`).
+    """
+    idx = _check_sources(graph, sources)
+    if cutoff < 0.0:
+        raise GraphError(f"cutoff must be >= 0, got {cutoff}")
+    snap = graph.csr_snapshot()
+    has_tail = snap.has_tail and snap.base.nnz >= _TAIL_NATIVE_MIN_NNZ
+    mat = snap.base if has_tail else snap.matrix()
+    indptr = np.asarray(mat.indptr, dtype=np.int64)
+    indices = np.asarray(mat.indices, dtype=np.int64)
+    weights = np.asarray(mat.data, dtype=np.float64)
+    return idx, snap, has_tail, indptr, indices, weights
+
+
+def _relax_frontier(
+    f_keys: np.ndarray,
+    f_d: np.ndarray,
+    n: np.int64,
+    cutoff: float,
+    snap,
+    has_tail: bool,
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    weights: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """One relaxation sweep: expand every frontier ``(key, dist)`` pair
+    through its CSR row (plus tail edges), prune past the cutoff, and
+    reduce to the minimum per key.  Returns sorted ``(keys, dists)``.
+    """
+    fv = f_keys % n
+    deg = indptr[fv + 1] - indptr[fv]
+    eidx = run_expand(indptr[fv], deg)
+    nd = np.repeat(f_d, deg) + weights[eidx]
+    nk = (f_keys - fv)[np.repeat(
+        np.arange(f_keys.size, dtype=np.int64), deg
+    )] + indices[eidx]
+    if has_tail:
+        t_deg, t_dst, t_w = snap.tail_neighbors(fv)
+        t_nd = np.repeat(f_d, t_deg) + t_w
+        t_nk = (f_keys - fv)[np.repeat(
+            np.arange(f_keys.size, dtype=np.int64), t_deg
+        )] + t_dst
+        nd = np.concatenate([nd, t_nd])
+        nk = np.concatenate([nk, t_nk])
+    keep = nd <= cutoff
+    nk, nd = nk[keep], nd[keep]
+    if nk.size == 0:
+        return nk, nd
+    # Minimum per (slot, vertex) among this sweep's relaxations; the
+    # sort is over the sweep's candidates only, never the label table.
+    order = np.argsort(nk, kind="stable")
+    nk, nd = nk[order], nd[order]
+    first = np.ones(nk.size, dtype=bool)
+    first[1:] = nk[1:] != nk[:-1]
+    nd = np.minimum.reduceat(nd, np.flatnonzero(first))
+    return nk[first], nd
+
+
 def multi_source_ball_lists(
     graph: Graph, sources: Sequence[int], cutoff: float
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Sparse bounded multi-source Dijkstra: every ball in one search.
+    """Sparse bounded multi-source search: every ball in one pass.
 
-    The frontier-sharing kernel of the construction pipeline: all
-    ``sources`` relax together as one flat frontier of ``(source-slot,
-    vertex, dist)`` triples over the CSR snapshot (label-correcting
-    rounds: expand every frontier pair through its CSR row, keep
-    improvements, repeat until no label improves).  Total work is
-    O(ball mass) -- the sum of ball sizes -- instead of the dense
-    kernel's O(k * n) row setup, which is what makes the tiny-ball
-    regimes of the relaxed greedy phases cheap.
+    The frontier-sharing kernel of the construction pipeline, run as
+    *bucketed delta-stepping*: the ``[0, cutoff]`` range splits into
+    :data:`_BALL_BUCKETS` distance bands processed in ascending order,
+    and each band's frontier of ``(source-slot, vertex, dist)`` pairs
+    relaxes over the CSR snapshot until the band drains (short edges
+    re-enter the current band, longer ones land in later ones).  Total
+    work is O(ball mass) like the label-correcting reference, but each
+    label now settles after O(1) expansions instead of once per
+    improvement, and the label table grows by *linear merges*
+    (``np.insert`` at presorted positions) -- the reference's
+    O(B log B) full re-sort of the table per round is gone, which is
+    what the ROADMAP's construction-scaling item asked for.  Stale
+    band entries (labels improved after enqueue) are dropped lazily on
+    dequeue by comparing against the table.
 
     Converges to the exact Dijkstra fixpoint over the same float
-    weights (both compute the minimum over head-to-tail float path
-    sums; positive weights make the cutoff prefix-prune lossless), so
-    distances are bit-identical to :func:`dijkstra` /
-    :func:`multi_source_distances`.
+    weights as :func:`multi_source_ball_lists_reference` -- both take
+    minima over the identical multiset of head-to-tail float path sums
+    (positive weights make the cutoff prefix-prune lossless and keep
+    band targets monotone) -- so the output is bit-identical to the
+    reference, to :func:`dijkstra` and to
+    :func:`multi_source_distances`; the equivalence suite pins all
+    three.
 
     Returns
     -------
@@ -276,9 +356,9 @@ def multi_source_ball_lists(
         ball of ``sources[i]`` -- every vertex with ``sp(sources[i], v)
         <= cutoff`` -- sorted ascending, with aligned ``dists``.
     """
-    idx = _check_sources(graph, sources)
-    if cutoff < 0.0:
-        raise GraphError(f"cutoff must be >= 0, got {cutoff}")
+    idx, snap, has_tail, indptr, indices, weights = _ball_search_setup(
+        graph, sources, cutoff
+    )
     k = idx.size
     n = np.int64(graph.num_vertices)
     if k == 0:
@@ -287,53 +367,108 @@ def multi_source_ball_lists(
             np.empty(0, dtype=np.int64),
             np.empty(0, dtype=np.float64),
         )
-    # Consume the two-layer snapshot natively: base CSR rows expand as
-    # before, tail edges (appends since the base was built) relax as
-    # extra per-round candidates -- no base + tail merge is ever paid.
-    # The relaxation multiset per round is identical to a merged matrix
-    # and the reductions take exact minima, so distances stay
-    # bit-identical to the single-layer path.  Below the nnz crossover
-    # a C-level merge is cheaper than per-round tail lookups, so small
-    # graphs take the (cached) merged matrix instead.
-    snap = graph.csr_snapshot()
-    has_tail = snap.has_tail and snap.base.nnz >= _TAIL_NATIVE_MIN_NNZ
-    mat = snap.base if has_tail else snap.matrix()
-    indptr = np.asarray(mat.indptr, dtype=np.int64)
-    indices = np.asarray(mat.indices, dtype=np.int64)
-    weights = np.asarray(mat.data, dtype=np.float64)
+    best_keys = np.arange(k, dtype=np.int64) * n + idx
+    best_d = np.zeros(k, dtype=np.float64)
+    delta = cutoff / _BALL_BUCKETS if cutoff > 0.0 else 1.0
+    pend: list[list[tuple[np.ndarray, np.ndarray]]] = [
+        [] for _ in range(_BALL_BUCKETS)
+    ]
+    pend[0].append((best_keys.copy(), best_d.copy()))
+    for band in range(_BALL_BUCKETS):
+        while pend[band]:
+            chunks, pend[band] = pend[band], []
+            f_keys = np.concatenate([c[0] for c in chunks])
+            f_d = np.concatenate([c[1] for c in chunks])
+            # Lazy stale-drop: an entry whose label improved after it
+            # was enqueued no longer matches the table and is skipped
+            # (every enqueued key is already in the table, so the
+            # lookup never misses).
+            pos = np.searchsorted(best_keys, f_keys)
+            live = best_d[pos] == f_d
+            f_keys, f_d = f_keys[live], f_d[live]
+            if f_keys.size == 0:
+                continue
+            # Dedupe same-band duplicates of one key (equal dists).
+            order = np.argsort(f_keys, kind="stable")
+            f_keys, f_d = f_keys[order], f_d[order]
+            first = np.ones(f_keys.size, dtype=bool)
+            first[1:] = f_keys[1:] != f_keys[:-1]
+            f_keys, f_d = f_keys[first], f_d[first]
+            nk, nd = _relax_frontier(
+                f_keys, f_d, n, cutoff, snap, has_tail,
+                indptr, indices, weights,
+            )
+            if nk.size == 0:
+                continue
+            # Compare against the label table (strict improvement only).
+            pos = np.searchsorted(best_keys, nk)
+            in_range = pos < best_keys.size
+            safe = np.where(in_range, pos, 0)
+            known = in_range & (best_keys[safe] == nk)
+            improved = known & (nd < best_d[safe])
+            best_d[safe[improved]] = nd[improved]
+            fresh = ~known
+            if fresh.any():
+                ins = np.searchsorted(best_keys, nk[fresh])
+                best_keys = np.insert(best_keys, ins, nk[fresh])
+                best_d = np.insert(best_d, ins, nd[fresh])
+            out_k = np.concatenate([nk[improved], nk[fresh]])
+            out_d = np.concatenate([nd[improved], nd[fresh]])
+            if out_k.size == 0:
+                continue
+            # Positive weights keep targets monotone: nd > f_d >=
+            # band * delta, so no entry lands in a drained band.
+            target = np.minimum(
+                (out_d / delta).astype(np.int64), _BALL_BUCKETS - 1
+            )
+            for b in np.unique(target).tolist():
+                sel = target == b
+                pend[b].append((out_k[sel], out_d[sel]))
+    slots = best_keys // n
+    starts = np.searchsorted(slots, np.arange(k + 1, dtype=np.int64))
+    return starts, best_keys % n, best_d
 
+
+def multi_source_ball_lists_reference(
+    graph: Graph, sources: Sequence[int], cutoff: float
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Label-correcting reference of :func:`multi_source_ball_lists`.
+
+    All ``sources`` relax together as one flat frontier (expand every
+    frontier pair through its CSR row, keep improvements, repeat until
+    no label improves), re-sorting the whole label table on every
+    merge.  Kept as the semantic anchor the bucketed kernel is pinned
+    bit-identical against.
+
+    Converges to the exact Dijkstra fixpoint over the same float
+    weights (both compute the minimum over head-to-tail float path
+    sums; positive weights make the cutoff prefix-prune lossless), so
+    distances are bit-identical to :func:`dijkstra` /
+    :func:`multi_source_distances`.
+    """
+    idx, snap, has_tail, indptr, indices, weights = _ball_search_setup(
+        graph, sources, cutoff
+    )
+    k = idx.size
+    n = np.int64(graph.num_vertices)
+    if k == 0:
+        return (
+            np.zeros(1, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.float64),
+        )
     # Known labels, keyed slot * n + vertex (sorted; slots ascend).
     best_keys = np.arange(k, dtype=np.int64) * n + idx
     best_d = np.zeros(k, dtype=np.float64)
     f_keys = best_keys.copy()
     f_d = best_d.copy()
     while f_keys.size:
-        fv = f_keys % n
-        deg = indptr[fv + 1] - indptr[fv]
-        eidx = run_expand(indptr[fv], deg)
-        nd = np.repeat(f_d, deg) + weights[eidx]
-        nk = (f_keys - fv)[np.repeat(
-            np.arange(f_keys.size, dtype=np.int64), deg
-        )] + indices[eidx]
-        if has_tail:
-            t_deg, t_dst, t_w = snap.tail_neighbors(fv)
-            t_nd = np.repeat(f_d, t_deg) + t_w
-            t_nk = (f_keys - fv)[np.repeat(
-                np.arange(f_keys.size, dtype=np.int64), t_deg
-            )] + t_dst
-            nd = np.concatenate([nd, t_nd])
-            nk = np.concatenate([nk, t_nk])
-        keep = nd <= cutoff
-        nk, nd = nk[keep], nd[keep]
+        nk, nd = _relax_frontier(
+            f_keys, f_d, n, cutoff, snap, has_tail,
+            indptr, indices, weights,
+        )
         if nk.size == 0:
             break
-        # Minimum per (slot, vertex) among this round's relaxations.
-        order = np.argsort(nk, kind="stable")
-        nk, nd = nk[order], nd[order]
-        first = np.ones(nk.size, dtype=bool)
-        first[1:] = nk[1:] != nk[:-1]
-        nd = np.minimum.reduceat(nd, np.flatnonzero(first))
-        nk = nk[first]
         # Compare against the known labels (strict improvement only).
         pos = np.searchsorted(best_keys, nk)
         in_range = pos < best_keys.size

@@ -60,6 +60,17 @@ class TestBuild:
         out = capsys.readouterr().out
         assert "total rounds" in out
 
+    def test_distributed_build_sharded(self, instance_path, capsys):
+        code = main(["build", str(instance_path), "--distributed"])
+        assert code == 0
+        base = json.loads(_extract_json(capsys))
+        code = main(
+            ["build", str(instance_path), "--distributed", "--jobs", "2"]
+        )
+        assert code == 0
+        sharded = json.loads(_extract_json(capsys))
+        assert sharded == base  # sharding never changes the spanner
+
     def test_spanner_output_saved(self, instance_path, tmp_path):
         out_path = tmp_path / "spanner.json"
         code = main(

@@ -115,7 +115,29 @@ class TestSnapshotLifecycle:
         keys = snap.tail_src * g.num_vertices + snap.tail_dst
         assert (np.diff(keys) > 0).all()
 
-    def test_large_burst_folds_tail_into_base(self):
+    def test_append_bursts_alone_never_fold(self):
+        g = Graph(50)
+        rng = np.random.default_rng(5)
+        for _ in range(60):
+            a, b = int(rng.integers(50)), int(rng.integers(50))
+            if a != b:
+                g.add_edge(a, b, float(rng.uniform(0.1, 1.0)))
+        base = g.csr_snapshot().base
+        # Append far more than the log itself (the old fixed-fraction
+        # rule would fold many times over): with no tail consumer the
+        # adaptive policy keeps every refresh tail-sized.
+        m_before = g.num_edges
+        added = 0
+        while added <= 2 * m_before:
+            a, b = int(rng.integers(50)), int(rng.integers(50))
+            if a != b and not g.has_edge(a, b):
+                g.add_edge(a, b, 0.3)
+                added += 1
+        snap = g.csr_snapshot()
+        assert snap.has_tail and snap.num_tail_edges == added
+        assert snap.base is base  # untouched: appends never fold
+
+    def test_scan_work_folds_tail_into_base(self):
         g = Graph(50)
         rng = np.random.default_rng(5)
         for _ in range(60):
@@ -123,17 +145,40 @@ class TestSnapshotLifecycle:
             if a != b:
                 g.add_edge(a, b, float(rng.uniform(0.1, 1.0)))
         g.csr_snapshot()
-        m_before = g.num_edges
-        # Append more than a quarter of the log: compaction must fold.
-        added = 0
-        while added <= m_before:  # tail > m/4 guaranteed
-            a, b = int(rng.integers(50)), int(rng.integers(50))
-            if a != b and not g.has_edge(a, b):
-                g.add_edge(a, b, 0.3)
-                added += 1
+        fresh = [v for v in range(1, 50) if not g.has_edge(0, v)][:6]
+        for v in fresh:
+            g.add_edge(0, v, 0.3)
         snap = g.csr_snapshot()
-        assert not snap.has_tail
-        assert snap.matrix() is snap.base
+        assert snap.has_tail
+        # Hammer the tail until the accumulated scan work exceeds one
+        # base rebuild (~2m directed entries); then the next refresh --
+        # triggered by a single further append -- must compact.
+        verts = np.arange(50, dtype=np.int64)
+        budget = 2 * g.num_edges
+        charged = 0
+        while charged < budget:
+            counts, _, _ = snap.tail_neighbors(verts)
+            charged += verts.size + int(counts.sum())
+        a, b = next(
+            (a, b)
+            for a in range(1, 50)
+            for b in range(a + 1, 50)
+            if not g.has_edge(a, b)
+        )
+        g.add_edge(a, b, 0.4)
+        folded = g.csr_snapshot()
+        assert not folded.has_tail
+        assert folded.matrix() is folded.base
+
+    def test_matrix_merge_charges_the_fold_accumulator(self):
+        g = Graph(30)
+        for i in range(29):
+            g.add_edge(i, i + 1, 0.5)
+        g.csr_snapshot()
+        g.add_edge(0, 15, 0.5)
+        g.csr()  # pays one base + tail merge -> next refresh folds
+        g.add_edge(0, 20, 0.5)
+        assert not g.csr_snapshot().has_tail
 
     def test_delete_and_overwrite_rebuild_base(self):
         g = Graph(10)

@@ -1,0 +1,124 @@
+"""Batch event engine scaling: speedup over the scalar heap reference.
+
+ISSUE 8 acceptance: the batched epoch engine must (a) produce a
+``RunResult`` bit-identical to the pinned scalar heap engine -- that
+equality is asserted here before any speedup is recorded -- and (b)
+push hardened protocol runs to n=10^4 under the chaos scenario inside a
+hard wall-clock budget.  The lossy scenario carries the speedup
+measurements because its epochs stay wide (unit latency keeps many
+deliveries on the same timestamp); chaos jitter degenerates epochs to
+singletons, so there the batch tier is only required to keep pace.
+
+Measurements land in the ``results/bench`` trajectory store; with
+``REPRO_BENCH_GATE=1`` a >2x slowdown against the stored median fails
+the bench.  The n=10^4 chaos budget is hard regardless of the gate.
+
+Run with ``-s`` to see the recorded numbers::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_event_scaling.py -s
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.distributed import run_luby_mis_event
+from repro.experiments import fault_scenario
+from repro.geometry.sampling import uniform_points
+from repro.graphs.build import build_udg
+
+# Measured ~90s on the reference box (n=10^4 chaos, batch engine); 3x
+# headroom absorbs slower CI runners without masking a real regression.
+CHAOS_BUDGET_S = 300.0
+
+
+def _graph(n: int, expected_degree: float = 12.0):
+    points = uniform_points(n, seed=6000 + n, expected_degree=expected_degree)
+    return build_udg(points)
+
+
+@pytest.mark.parametrize("n", [1000, 5000])
+def test_batch_engine_speedup_lossy(benchmark, bench_gate, n):
+    """Hardened Luby under lossy: batch == scalar, speedup recorded."""
+    graph = _graph(n)
+    plan = fault_scenario("lossy").plan(seed=31)
+    max_events = max(5_000_000, 3_000 * n)
+
+    t0 = time.perf_counter()
+    scalar = run_luby_mis_event(
+        graph, seed=11, plan=plan, max_events=max_events, engine="scalar"
+    )
+    scalar_s = time.perf_counter() - t0
+
+    batch = benchmark.pedantic(
+        lambda: run_luby_mis_event(
+            graph, seed=11, plan=plan, max_events=max_events, engine="batch"
+        ),
+        rounds=1, iterations=1,
+    )
+    batch_s = benchmark.stats.stats.mean
+
+    # Bit-equality first: a fast wrong engine records nothing.
+    assert batch.result == scalar.result
+    assert batch.independent_set == scalar.independent_set
+    assert batch.t_end == scalar.t_end
+
+    speedup = scalar_s / batch_s if batch_s > 0 else float("inf")
+    print(
+        f"\nevent-scaling n={n}: scalar {scalar_s:.3f}s, "
+        f"batch {batch_s:.3f}s, speedup {speedup:.2f}x, "
+        f"retrans={batch.result.retransmissions}"
+    )
+    bench_gate(
+        f"event-scaling-lossy-{n}",
+        {
+            "n": n,
+            "scalar_s": scalar_s,
+            "wall_s": batch_s,
+            "speedup": speedup,
+            "retransmissions": batch.result.retransmissions,
+            "messages": batch.result.messages,
+        },
+    )
+
+
+def test_batch_engine_chaos_n10k_budget(benchmark, bench_gate):
+    """n=10^4 hardened Luby under chaos: completes inside the budget."""
+    n = 10_000
+    graph = _graph(n)
+    plan = fault_scenario("chaos").plan(seed=31)
+
+    run = benchmark.pedantic(
+        lambda: run_luby_mis_event(
+            graph, seed=11, plan=plan,
+            max_events=100_000_000, engine="batch",
+        ),
+        rounds=1, iterations=1,
+    )
+    wall_s = benchmark.stats.stats.mean
+
+    assert run.independent_set  # verified MIS of the alive subgraph
+    assert run.result.retransmissions > 0
+    assert wall_s < CHAOS_BUDGET_S, (
+        f"n={n} chaos run took {wall_s:.1f}s, budget {CHAOS_BUDGET_S:.0f}s"
+    )
+    print(
+        f"\nevent-scaling chaos n={n}: {wall_s:.3f}s "
+        f"(budget {CHAOS_BUDGET_S:.0f}s), "
+        f"retrans={run.result.retransmissions}, "
+        f"crashed={len(set(run.result.crashed))}, "
+        f"mis={len(run.independent_set)}"
+    )
+    bench_gate(
+        "event-scaling-chaos-10k",
+        {
+            "n": n,
+            "wall_s": wall_s,
+            "budget_s": CHAOS_BUDGET_S,
+            "retransmissions": run.result.retransmissions,
+            "crashed": len(set(run.result.crashed)),
+            "mis_size": len(run.independent_set),
+        },
+    )

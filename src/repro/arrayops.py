@@ -116,14 +116,31 @@ def counter_uniforms(
     return (h >> np.uint64(11)).astype(np.float64) * _INV_2_53
 
 
-def counter_uniform(state: np.uint64, a: int, b: int) -> float:
-    """Scalar convenience wrapper over :func:`counter_uniforms`."""
-    arr = counter_uniforms(
-        state,
-        np.asarray([a], dtype=np.int64),
-        np.asarray([b], dtype=np.int64),
-    )
-    return float(arr[0])
+def counter_uniform(state, a: int, b: int) -> float:
+    """Scalar companion of :func:`counter_uniforms`, bit-identical.
+
+    Computed in Python ints rather than through a 1-element array: the
+    event tier draws one deviate per transmission, and the numpy scalar
+    round trip (~30x slower) dominated fault-run profiles.  ``state``
+    may be the ``np.uint64`` from :func:`seed_state` or a plain int.
+    The arithmetic mirrors :func:`counter_uniforms` exactly — two's
+    complement masking for the int64 cast, mod-2^64 wraparound, fmix64
+    twice, top 53 bits scaled by 2^-53 (every step exact in floats) —
+    so scalar and batch draws interleave freely.
+    """
+    x = int(state) ^ ((a + _GOLDEN_INT) & _U64_MASK)
+    x ^= x >> 33
+    x = (x * 0xFF51AFD7ED558CCD) & _U64_MASK
+    x ^= x >> 33
+    x = (x * 0xC4CEB9FE1A85EC53) & _U64_MASK
+    x ^= x >> 33
+    x ^= (b + _GOLDEN_INT) & _U64_MASK
+    x ^= x >> 33
+    x = (x * 0xFF51AFD7ED558CCD) & _U64_MASK
+    x ^= x >> 33
+    x = (x * 0xC4CEB9FE1A85EC53) & _U64_MASK
+    x ^= x >> 33
+    return (x >> 11) * _INV_2_53
 
 
 # ----------------------------------------------------------------------

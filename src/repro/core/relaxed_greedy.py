@@ -106,12 +106,17 @@ class SpannerResult:
         Per-executed-phase statistics, in order.
     num_bins:
         Total number of bins ``m`` (scheduled phases is ``m + 1``).
+    probe_cache:
+        Hit/miss counters of the dense-vs-sparse probe-outcome cache
+        accumulated over the build (base graph + partial spanner; see
+        :func:`repro.graphs.paths.prefer_batched_sources`).
     """
 
     spanner: Graph
     params: SpannerParams
     phases: list[PhaseReport] = field(default_factory=list)
     num_bins: int = 0
+    probe_cache: dict[str, int] = field(default_factory=dict)
 
     @property
     def executed_phases(self) -> int:
@@ -243,6 +248,7 @@ class RelaxedGreedySpanner:
         result = SpannerResult(
             Graph(n), params, num_bins=binning.num_bins
         )
+        base_probe = graph.probe_cache_stats()
 
         # ---- phase 0 ------------------------------------------------
         short = bins.pop(0, [])
@@ -269,6 +275,12 @@ class RelaxedGreedySpanner:
             result.phases.append(report)
 
         result.spanner = spanner
+        base_after = graph.probe_cache_stats()
+        span_probe = spanner.probe_cache_stats()
+        result.probe_cache = {
+            key: span_probe[key] + base_after[key] - base_probe[key]
+            for key in ("hits", "misses")
+        }
         return result
 
     # ------------------------------------------------------------------

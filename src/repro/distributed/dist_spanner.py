@@ -107,6 +107,10 @@ class DistributedSpannerResult:
         sweep after crashes severed spanner paths.
     final_time:
         Event-simulation clock when the last protocol run drained.
+    probe_cache:
+        Hit/miss counters of the partial spanner's dense-vs-sparse
+        probe-outcome cache (see
+        :func:`repro.graphs.paths.prefer_batched_sources`).
     """
 
     spanner: Graph
@@ -120,6 +124,7 @@ class DistributedSpannerResult:
     recovery_rounds: int = 0
     repair_edges: int = 0
     final_time: float = 0.0
+    probe_cache: dict[str, int] = field(default_factory=dict)
 
     @property
     def total_rounds(self) -> int:
@@ -171,6 +176,12 @@ class DistributedRelaxedGreedy:
         final re-certification sweep restores the stretch bound on the
         surviving subgraph.  A zero-fault plan reproduces the default
         build exactly (pinned by the test-suite).
+    fault_engine:
+        Event-tier execution path for the fault runs: ``"auto"``
+        (default, the batched timer-wheel engine), ``"batch"`` or
+        ``"scalar"``.  The batch wheel is pinned bit-equal to the scalar
+        heap, so this knob only affects wall time -- it is what lets
+        ``fault_plan`` builds reach ``n >= 10^4``.
     """
 
     def __init__(
@@ -181,6 +192,7 @@ class DistributedRelaxedGreedy:
         process_empty_phases: bool = False,
         measure_gather_messages: bool = False,
         fault_plan: FaultPlan | None = None,
+        fault_engine: str = "auto",
         jobs: int = 1,
         points=None,
     ) -> None:
@@ -189,6 +201,7 @@ class DistributedRelaxedGreedy:
         self._process_empty = process_empty_phases
         self._measure_gather = measure_gather_messages
         self._fault_plan = fault_plan
+        self._fault_engine = fault_engine
         self._jobs = max(1, int(jobs))
         self._points = points
         self._partition: np.ndarray | None = None
@@ -254,6 +267,7 @@ class DistributedRelaxedGreedy:
         if self._fault_plan is not None:
             self._finalize_faults(graph, spanner, result)
         result.spanner = spanner
+        result.probe_cache = spanner.probe_cache_stats()
         return result
 
     # ------------------------------------------------------------------
@@ -462,6 +476,10 @@ class DistributedRelaxedGreedy:
             plan=plan,
             fault_labels={i: int(u) for i, u in enumerate(labels)},
             t0=self._clock,
+            # Event volume grows with the node count; keep the default
+            # ceiling for small runs but scale it for n >= 10^4 builds.
+            max_events=max(5_000_000, 3_000 * n),
+            engine=self._fault_engine,
         )
         self._clock = run.t_end
         result.mis_invocations += 1

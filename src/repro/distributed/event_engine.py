@@ -38,9 +38,11 @@ from __future__ import annotations
 import heapq
 from typing import Any, Mapping
 
+import numpy as np
+
 from ..exceptions import ProtocolError, SimulationLimitError
 from .engine import Protocol, RunResult, SynchronousNetwork
-from .faults import FaultPlan
+from .faults import _NODE_SPAN, FaultPlan
 from .messages import payload_words
 
 __all__ = [
@@ -49,6 +51,7 @@ __all__ = [
     "Multi",
     "EventNodeContext",
     "EventProtocol",
+    "BatchEventProtocol",
     "EventNetwork",
 ]
 
@@ -56,6 +59,14 @@ __all__ = [
 # at t does not see t's mail), recoveries next, then deliveries, then
 # timers (a tick at t reads messages that arrived at exactly t).
 _P_CRASH, _P_RECOVER, _P_DELIVER, _P_TIMER = range(4)
+
+# Batch-tier thresholds: below _SMALL_DRAW buffered transmissions the
+# scalar draw path beats the array overhead; survivor batches under
+# _RUN_MIN go to the heap instead of opening an array run; _MAX_RUNS
+# bounds the wheel's sorted-run count before compaction.
+_SMALL_DRAW = 12
+_RUN_MIN = 48
+_MAX_RUNS = 32
 
 
 class Ctl:
@@ -170,6 +181,56 @@ class EventProtocol:
         return None
 
 
+class BatchEventProtocol(EventProtocol):
+    """An event protocol that can step a whole epoch in one call.
+
+    The batch event engine groups every same-timestamp epoch into
+    receiver-sorted delivery segments and ``(node, seq)``-sorted timer
+    fires; a :class:`BatchEventProtocol` receives each group through one
+    hook call instead of one engine dispatch per node, cutting the
+    per-node wrapper traffic (outbox dicts, :class:`Ctl`/:class:`Multi`
+    allocation, dispatch unwrapping) out of the hot loop.
+
+    The default implementations below replay the scalar hooks in the
+    engine's canonical order, so subclassing changes nothing unless a
+    hook is overridden.  Overrides MUST preserve the scalar contract
+    exactly -- same per-node processing order (ascending receiver for
+    deliveries, ``(node, seq)`` for timers, alive/halted checked at call
+    time), and same transmission order (per node: all sends grouped by
+    destination in first-touch order) -- because transmission sequence
+    numbers feed the fault plan's drop/latency draws and any reordering
+    changes the run.  Overrides emit through ``engine.send`` and must set
+    ``engine._stepped`` for every timer actually fired.
+    """
+
+    supports_batch_epoch = True
+
+    def on_deliver_epoch(
+        self,
+        engine: "EventNetwork",
+        now: float,
+        batch: list[tuple[EventNodeContext, dict[int, list]]],
+    ) -> None:
+        """One epoch of deliveries: ``batch`` is ``(ctx, inbox)`` per
+        receiving node, ascending by receiver id."""
+        for ctx, inbox in batch:
+            engine._dispatch(ctx.node, self.on_deliver(ctx, inbox, now))
+
+    def on_timer_epoch(
+        self, engine: "EventNetwork", now: float, fires: list[tuple]
+    ) -> None:
+        """One epoch of timer fires, ``(node, seq)``-sorted heap entries.
+        Implementations skip dead/halted nodes at call time (an earlier
+        fire in the same epoch may have halted the node)."""
+        contexts = engine._contexts
+        for entry in fires:
+            ctx = contexts[entry[3]]
+            if not ctx.alive or ctx.halted:
+                continue
+            engine._stepped = True
+            engine._dispatch(ctx.node, self.on_timer(ctx, now, entry[4]))
+
+
 class _SyncDriver(EventProtocol):
     """Drives a synchronous :class:`Protocol` on the event tier.
 
@@ -255,6 +316,40 @@ class EventNetwork:
             )
         self._sync = SynchronousNetwork(topology)
         self._plan = plan if plan is not None else FaultPlan()
+        if fault_labels is not None:
+            # Validate eagerly, naming the offending node: a bad label
+            # would otherwise surface as a bare KeyError (or a silently
+            # aliased draw stream) deep inside a run.
+            seen: dict[int, int] = {}
+            for u in self._sync.nodes:
+                if u not in fault_labels:
+                    raise ProtocolError(
+                        f"fault_labels missing node {u}: every "
+                        "participating node needs an identity for the "
+                        "fault draws"
+                    )
+                raw = fault_labels[u]
+                if isinstance(raw, bool) or not isinstance(
+                    raw, (int, np.integer)
+                ):
+                    raise ProtocolError(
+                        f"fault_labels[{u}] must be an int identity, "
+                        f"got {raw!r}"
+                    )
+                label = int(raw)
+                if not 0 <= label < _NODE_SPAN:
+                    raise ProtocolError(
+                        f"fault_labels[{u}] = {label} out of range "
+                        f"[0, {_NODE_SPAN})"
+                    )
+                other = seen.get(label)
+                if other is not None:
+                    raise ProtocolError(
+                        f"fault_labels maps nodes {other} and {u} to "
+                        f"the same identity {label}; identities must be "
+                        "distinct for per-edge draws"
+                    )
+                seen[label] = u
         self._fault_labels = fault_labels
         self._t0 = float(t0)
         self._max_time = float(max_time)
@@ -298,9 +393,10 @@ class EventNetwork:
         fire = self._now + delay / self._rates[node]
         self._push((fire, _P_TIMER, self._next_seq(), node, key))
 
-    def _transmit(
+    def _transmit_now(
         self, sender: int, receiver: int, payload: Any, kind: str
     ) -> None:
+        """Scalar-tier transmission: bill, draw, schedule immediately."""
         if kind == "data":
             self._messages += 1
             self._words += payload_words(payload)
@@ -316,6 +412,132 @@ class EventNetwork:
         at = self._now + self._plan.latency_of(lu, lv, counter)
         self._push((at, _P_DELIVER, counter, sender, receiver, payload))
 
+    def _transmit_defer(
+        self, sender: int, receiver: int, payload: Any, kind: str
+    ) -> None:
+        """Batch-tier transmission: bill and allocate the sequence
+        counter eagerly (counters must interleave with timer/crash seqs
+        exactly as on the scalar tier -- they feed the fault draws), but
+        defer the drop/latency draws to :meth:`_flush_tx` at epoch end.
+        Safe because every transmission of an epoch shares ``self._now``
+        and draws are pure functions of (seed, edge, counter)."""
+        if kind == "data":
+            self._messages += 1
+            self._words += payload_words(payload)
+        elif kind == "ctl":
+            self._ctl += 1
+        else:
+            self._retrans += 1
+        self._txq.append(
+            (
+                self._next_seq(),
+                sender,
+                receiver,
+                self._ident(sender),
+                self._ident(receiver),
+                payload,
+            )
+        )
+
+    def _flush_tx(self) -> None:
+        """Draw fates for the epoch's buffered transmissions and schedule
+        the survivors -- one vectorized hash pass per draw stream for
+        large epochs, the scalar draw path (bit-identical, pinned) below
+        ``_SMALL_DRAW``.  Survivor batches of ``_RUN_MIN``+ become a
+        sorted array run in the wheel; smaller ones go to the heap."""
+        txq = self._txq
+        if not txq:
+            return
+        self._txq = []
+        plan = self._plan
+        now = self._now
+        if len(txq) < _SMALL_DRAW:
+            heap = self._heap
+            for counter, sender, receiver, lu, lv, payload in txq:
+                if plan.dropped(lu, lv, counter, now):
+                    self._dropped += 1
+                    continue
+                at = now + plan.latency_of(lu, lv, counter)
+                heapq.heappush(
+                    heap, (at, _P_DELIVER, counter, sender, receiver, payload)
+                )
+            return
+        counters, senders, receivers, lus, lvs, payloads = zip(*txq)
+        cnt = np.asarray(counters, dtype=np.int64)
+        lua = np.asarray(lus, dtype=np.int64)
+        lva = np.asarray(lvs, dtype=np.int64)
+        drop = plan.drop_mask(lua, lva, cnt, now)
+        if drop.any():
+            self._dropped += int(np.count_nonzero(drop))
+            keep = np.flatnonzero(~drop)
+            if keep.size == 0:
+                return
+            cnt = cnt[keep]
+            lua = lua[keep]
+            lva = lva[keep]
+            keep_list = keep.tolist()
+            senders = [senders[i] for i in keep_list]
+            receivers = [receivers[i] for i in keep_list]
+            payloads = [payloads[i] for i in keep_list]
+        times = now + plan.latencies(lua, lva, cnt)
+        if cnt.size < _RUN_MIN:
+            times_list = times.tolist()
+            cnt_list = cnt.tolist()
+            for i in range(cnt.size):
+                self._push(
+                    (times_list[i], _P_DELIVER, cnt_list[i], senders[i],
+                     receivers[i], payloads[i])
+                )
+            return
+        snd = np.asarray(senders, dtype=np.int64)
+        rcv = np.asarray(receivers, dtype=np.int64)
+        if plan.jitter != 0.0:
+            # Runs must be (time, seq)-sorted; without jitter the times
+            # are all equal and the counters already ascend.
+            order = np.lexsort((cnt, times))
+            times = times.take(order)
+            cnt = cnt.take(order)
+            snd = snd.take(order)
+            rcv = rcv.take(order)
+            payloads = [payloads[i] for i in order.tolist()]
+        self._runs.append(
+            {
+                "times": times,
+                "seqs": cnt,
+                "senders": snd,
+                "receivers": rcv,
+                "payloads": payloads,
+                "pos": 0,
+                "head": float(times[0]),
+            }
+        )
+        if len(self._runs) > _MAX_RUNS:
+            self._merge_runs()
+
+    def _merge_runs(self) -> None:
+        """Compact the wheel's sorted runs into one (rarely needed: runs
+        drain fully within a latency window in practice)."""
+        runs = self._runs
+        times = np.concatenate([r["times"][r["pos"]:] for r in runs])
+        seqs = np.concatenate([r["seqs"][r["pos"]:] for r in runs])
+        snd = np.concatenate([r["senders"][r["pos"]:] for r in runs])
+        rcv = np.concatenate([r["receivers"][r["pos"]:] for r in runs])
+        payloads: list = []
+        for r in runs:
+            payloads.extend(r["payloads"][r["pos"]:])
+        order = np.lexsort((seqs, times))
+        runs[:] = [
+            {
+                "times": times.take(order),
+                "seqs": seqs.take(order),
+                "senders": snd.take(order),
+                "receivers": rcv.take(order),
+                "payloads": [payloads[i] for i in order.tolist()],
+                "pos": 0,
+                "head": float(times[order[0]]),
+            }
+        ]
+
     def _dispatch(
         self, sender: int, outbox: Mapping[int, Any] | None
     ) -> None:
@@ -329,41 +551,97 @@ class EventNetwork:
                     f"message non-neighbor {receiver}"
                 )
             items = value.items if isinstance(value, Multi) else (value,)
+            transmit = self._transmit
             for item in items:
                 if isinstance(item, Resend):
-                    self._transmit(sender, receiver, item.payload, "resend")
+                    transmit(sender, receiver, item.payload, "resend")
                 elif isinstance(item, Ctl):
-                    self._transmit(sender, receiver, item.payload, "ctl")
+                    transmit(sender, receiver, item.payload, "ctl")
                 else:
-                    self._transmit(sender, receiver, item, "data")
+                    transmit(sender, receiver, item, "data")
+
+    def send(
+        self, sender: int, receiver: int, payload: Any, kind: str = "data"
+    ) -> None:
+        """Direct transmission entry point for :class:`BatchEventProtocol`
+        epoch hooks (which bypass outbox dicts); same validation and
+        billing as dispatching an outbox."""
+        if receiver not in self._allowed[sender]:
+            raise ProtocolError(
+                f"{self._proto_name}: node {sender} attempted to "
+                f"message non-neighbor {receiver}"
+            )
+        self._transmit(sender, receiver, payload, kind)
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def run_sync(self, protocol: Protocol) -> RunResult:
+    def run_sync(
+        self, protocol: Protocol, *, engine: str = "auto"
+    ) -> RunResult:
         """Run a synchronous :class:`Protocol` through the tick adapter
-        (see :class:`_SyncDriver`)."""
-        return self.run(_SyncDriver(protocol))
+        (see :class:`_SyncDriver`).
 
-    def run(self, protocol: EventProtocol) -> RunResult:
-        """Run ``protocol`` until the event queue drains."""
+        Under a zero-fault unit-latency plan the schedule is exactly the
+        synchronous one, so ``engine="auto"``/``"batch"`` routes
+        batch-capable protocols straight onto the synchronous batch tier
+        (same RunResult -- that equality is already pinned -- plus the
+        event clock bookkeeping); everything else runs the tick adapter
+        on the selected event engine.
+        """
+        _check_engine(engine)
+        if (
+            engine != "scalar"
+            and self._plan.zero_fault
+            and self._plan.latency == 1.0
+            and getattr(protocol, "supports_batch", False)
+        ):
+            return self._run_sync_ticks(protocol)
+        return self.run(_SyncDriver(protocol), engine=engine)
+
+    def run(
+        self, protocol: EventProtocol, *, engine: str = "auto"
+    ) -> RunResult:
+        """Run ``protocol`` until the event queue drains.
+
+        ``engine`` selects the execution path: ``"scalar"`` is the
+        one-heap-pop-at-a-time reference tier, ``"batch"`` drains whole
+        same-timestamp epochs against array-backed event runs with
+        vectorized fault draws, and ``"auto"`` (default) picks batch --
+        any :class:`EventProtocol` runs there via the canonical per-node
+        replay, and the two tiers' RunResults are pinned bit-identical
+        across the named failure scenarios.
+        """
+        _check_engine(engine)
+        if engine == "scalar":
+            return self._run_scalar(protocol)
+        return self._run_batch(protocol)
+
+    # ------------------------------------------------------------------
+    def _init_run(
+        self, protocol: EventProtocol, *, defer: bool
+    ) -> tuple[dict[int, tuple[int, ...]], list[int], dict]:
+        """Reset run state shared by both tiers and prime the crash
+        timeline (absolute times; the past already happened)."""
         adj = self._sync._scalar_adj()
         nodes = self.nodes
         self._proto_name = getattr(protocol, "name", "event-protocol")
         self._allowed = {u: frozenset(adj[u]) for u in nodes}
         self._heap: list[tuple] = []
+        self._runs: list[dict] = []
         self._seq = 0
         self._now = self._t0
         self._messages = self._words = 0
         self._retrans = self._ctl = self._dropped = 0
+        self._stepped = False
+        self._transmit = self._transmit_defer if defer else self._transmit_now
+        self._txq: list[tuple] = []
         self._rates = {
             u: self._plan.clock_rate(self._ident(u)) for u in nodes
         }
-        contexts = {
-            u: EventNodeContext(u, adj[u], self) for u in nodes
-        }
+        contexts = {u: EventNodeContext(u, adj[u], self) for u in nodes}
+        self._contexts = contexts
 
-        # Crash timeline (absolute times; the past already happened).
         for u in nodes:
             sched = self._plan.crash_schedule(self._ident(u))
             if sched is None:
@@ -379,7 +657,9 @@ class EventNetwork:
                 self._push((at, _P_CRASH, self._next_seq(), u))
                 if back is not None:
                     self._push((back, _P_RECOVER, self._next_seq(), u))
+        return adj, nodes, contexts
 
+    def _start(self, protocol: EventProtocol, nodes, contexts) -> int:
         sent_data_at_start = False
         for u in nodes:
             ctx = contexts[u]
@@ -388,7 +668,30 @@ class EventNetwork:
             before = self._messages
             self._dispatch(u, protocol.on_start(ctx))
             sent_data_at_start |= self._messages > before
-        rounds = 1 if sent_data_at_start else 0
+        return 1 if sent_data_at_start else 0
+
+    def _finish(
+        self, protocol: EventProtocol, nodes, contexts, rounds: int
+    ) -> RunResult:
+        self.final_time = self._now
+        crashed = tuple(u for u in nodes if not contexts[u].alive)
+        return RunResult(
+            rounds=rounds,
+            messages=self._messages,
+            words=self._words,
+            outputs={u: protocol.output(contexts[u]) for u in nodes},
+            retransmissions=self._retrans,
+            control_messages=self._ctl,
+            dropped=self._dropped,
+            crashed=crashed,
+        )
+
+    # ------------------------------------------------------------------
+    def _run_scalar(self, protocol: EventProtocol) -> RunResult:
+        """The pinned semantic reference: one heap pop at a time, one
+        fault draw per transmission at transmit time."""
+        _, nodes, contexts = self._init_run(protocol, defer=False)
+        rounds = self._start(protocol, nodes, contexts)
 
         heap = self._heap
         horizon = self._t0 + self._max_time
@@ -465,15 +768,262 @@ class EventNetwork:
             if stepped:
                 rounds += 1
 
+        return self._finish(protocol, nodes, contexts, rounds)
+
+    # ------------------------------------------------------------------
+    def _run_batch(self, protocol: EventProtocol) -> RunResult:
+        """The batched tier: drains whole same-timestamp epochs from the
+        hybrid wheel (heap for singleton pushes, sorted array runs for
+        transmission batches), defers the epoch's fault draws into one
+        vectorized pass, and steps :class:`BatchEventProtocol` groups
+        through single epoch-hook calls.  Event ordering, sequence
+        allocation and accounting match :meth:`_run_scalar` exactly."""
+        _, nodes, contexts = self._init_run(protocol, defer=True)
+        batch_epoch = getattr(protocol, "supports_batch_epoch", False)
+        rounds = self._start(protocol, nodes, contexts)
+        self._flush_tx()
+
+        heap = self._heap
+        runs = self._runs
+        horizon = self._t0 + self._max_time
+        inf = float("inf")
+        processed = 0
+        while heap or runs:
+            t = heap[0][0] if heap else inf
+            for run in runs:
+                head = run["head"]
+                if head < t:
+                    t = head
+            if t > horizon:
+                pending = len(heap) + sum(
+                    r["times"].size - r["pos"] for r in runs
+                )
+                raise SimulationLimitError(
+                    f"{self._proto_name}: exceeded max_time={self._max_time} "
+                    f"({pending} events still queued)"
+                )
+            self._now = t
+            crashes: list[tuple] = []
+            recovers: list[tuple] = []
+            delivers: list[tuple] = []
+            timers: list[tuple] = []
+            while heap and heap[0][0] == t:
+                entry = heapq.heappop(heap)
+                processed += 1
+                if processed > self._max_events:
+                    raise SimulationLimitError(
+                        f"{self._proto_name}: exceeded "
+                        f"max_events={self._max_events} at t={t:.3f}"
+                    )
+                prio = entry[1]
+                if prio == _P_CRASH:
+                    crashes.append(entry)
+                elif prio == _P_RECOVER:
+                    recovers.append(entry)
+                elif prio == _P_DELIVER:
+                    delivers.append(entry)
+                else:
+                    timers.append(entry)
+            run_parts: list[tuple[dict, int, int]] = []
+            if runs:
+                for run in runs:
+                    if run["head"] != t:
+                        continue
+                    pos = run["pos"]
+                    times = run["times"]
+                    end = int(np.searchsorted(times, t, side="right"))
+                    run_parts.append((run, pos, end))
+                    processed += end - pos
+                    if end < times.size:
+                        run["pos"] = end
+                        run["head"] = float(times[end])
+                    else:
+                        run["pos"] = end
+                        run["head"] = inf
+                if run_parts:
+                    if processed > self._max_events:
+                        raise SimulationLimitError(
+                            f"{self._proto_name}: exceeded "
+                            f"max_events={self._max_events} at t={t:.3f}"
+                        )
+                    runs[:] = [r for r in runs if r["head"] is not inf]
+
+            self._stepped = False
+            for entry in crashes:
+                ctx = contexts[entry[3]]
+                if ctx.alive:
+                    ctx.alive = False
+                    protocol.on_crash(ctx, t)
+            for entry in recovers:
+                ctx = contexts[entry[3]]
+                if not ctx.alive:
+                    ctx.alive = True
+                    if not ctx.halted:
+                        self._stepped = True
+                    self._dispatch(ctx.node, protocol.on_recover(ctx, t))
+
+            if delivers or run_parts:
+                if run_parts:
+                    batch = self._gather_deliveries(
+                        delivers, run_parts, contexts
+                    )
+                else:
+                    # Heap-only epoch (typical under jitter: near-singleton
+                    # epochs); build inboxes inline, scalar-identical.
+                    batch = []
+                    last_ctx = None
+                    inbox: dict[int, list] | None = None
+                    if len(delivers) > 1:
+                        delivers.sort(key=lambda e: (e[4], e[2]))
+                    for entry in delivers:
+                        ctx = contexts[entry[4]]
+                        if not ctx.alive:
+                            self._dropped += 1
+                            continue
+                        if ctx is not last_ctx:
+                            inbox = {}
+                            batch.append((ctx, inbox))
+                            last_ctx = ctx
+                        sender = entry[3]
+                        bucket = inbox.get(sender)
+                        if bucket is None:
+                            inbox[sender] = [entry[5]]
+                        else:
+                            bucket.append(entry[5])
+                for ctx, _ in batch:
+                    if not ctx.halted:
+                        self._stepped = True
+                if batch:
+                    if batch_epoch:
+                        protocol.on_deliver_epoch(self, t, batch)
+                    else:
+                        for ctx, inbox in batch:
+                            self._dispatch(
+                                ctx.node, protocol.on_deliver(ctx, inbox, t)
+                            )
+
+            if timers:
+                fires = sorted(timers, key=lambda e: (e[3], e[2]))
+                if batch_epoch:
+                    protocol.on_timer_epoch(self, t, fires)
+                else:
+                    for entry in fires:
+                        ctx = contexts[entry[3]]
+                        if not ctx.alive or ctx.halted:
+                            continue
+                        self._stepped = True
+                        self._dispatch(
+                            ctx.node, protocol.on_timer(ctx, t, entry[4])
+                        )
+
+            if self._txq:
+                self._flush_tx()
+            if self._stepped:
+                rounds += 1
+
+        return self._finish(protocol, nodes, contexts, rounds)
+
+    def _gather_deliveries(
+        self,
+        delivers: list[tuple],
+        run_parts: list[tuple[dict, int, int]],
+        contexts: dict,
+    ) -> list[tuple[EventNodeContext, dict[int, list]]]:
+        """Assemble the epoch's deliveries into per-receiver inboxes, in
+        the scalar tier's canonical order: entries (receiver, seq)-sorted,
+        dead receivers billed as drops, senders grouped by first arrival.
+        Array runs are merged with heap entries through one lexsort
+        instead of per-message dict appends."""
+        rcv_parts: list[np.ndarray] = []
+        seq_parts: list[np.ndarray] = []
+        snd_parts: list[np.ndarray] = []
+        payloads: list = []
+        if delivers:
+            rcv_parts.append(
+                np.asarray([e[4] for e in delivers], dtype=np.int64)
+            )
+            seq_parts.append(
+                np.asarray([e[2] for e in delivers], dtype=np.int64)
+            )
+            snd_parts.append(
+                np.asarray([e[3] for e in delivers], dtype=np.int64)
+            )
+            payloads.extend(e[5] for e in delivers)
+        for run, lo, hi in run_parts:
+            rcv_parts.append(run["receivers"][lo:hi])
+            seq_parts.append(run["seqs"][lo:hi])
+            snd_parts.append(run["senders"][lo:hi])
+            payloads.extend(run["payloads"][lo:hi])
+        rcv = np.concatenate(rcv_parts)
+        seq = np.concatenate(seq_parts)
+        snd = np.concatenate(snd_parts)
+        order = np.lexsort((seq, rcv))
+        rcv_list = rcv.take(order).tolist()
+        snd_list = snd.take(order).tolist()
+        entries = zip(
+            snd_list, rcv_list, (payloads[i] for i in order.tolist())
+        )
+
+        batch: list[tuple[EventNodeContext, dict[int, list]]] = []
+        last_ctx: EventNodeContext | None = None
+        inbox: dict[int, list] | None = None
+        for sender, receiver, payload in entries:
+            ctx = contexts[receiver]
+            if not ctx.alive:
+                self._dropped += 1
+                continue
+            if ctx is not last_ctx:
+                inbox = {}
+                batch.append((ctx, inbox))
+                last_ctx = ctx
+            bucket = inbox.get(sender)
+            if bucket is None:
+                inbox[sender] = [payload]
+            else:
+                bucket.append(payload)
+        return batch
+
+    # ------------------------------------------------------------------
+    def _run_sync_ticks(self, protocol: Protocol) -> RunResult:
+        """Zero-fault unit-latency fast path for :meth:`run_sync`: the
+        tick schedule *is* the synchronous schedule, so run the inner
+        protocol's batch hooks directly (the sync batch tier's loop) and
+        keep only the event-clock bookkeeping.  ``final_time`` matches
+        the tick adapter exactly: the last tick epoch, plus the trailing
+        delivery epoch iff the final round sent anything."""
+        net = self._sync._batch_context()
+        rounds = 0
+        ticks = 0
+        net._sent_in_round = False
+        protocol.on_start_batch(net)
+        last_sent = net._sent_in_round
+        if last_sent:
+            rounds += 1
+        max_rounds = self._sync._max_rounds
+        while bool(net.active.any()):
+            if rounds >= max_rounds:
+                raise SimulationLimitError(
+                    f"{protocol.name}: exceeded {max_rounds} rounds "
+                    f"({int(np.count_nonzero(net.active))} nodes still "
+                    "active)"
+                )
+            net._sent_in_round = False
+            protocol.on_round_batch(net)
+            rounds += 1
+            ticks += 1
+            last_sent = net._sent_in_round
+        self._now = self._t0 + ticks + (1.0 if last_sent else 0.0)
         self.final_time = self._now
-        crashed = tuple(u for u in nodes if not contexts[u].alive)
         return RunResult(
             rounds=rounds,
-            messages=self._messages,
-            words=self._words,
-            outputs={u: protocol.output(contexts[u]) for u in nodes},
-            retransmissions=self._retrans,
-            control_messages=self._ctl,
-            dropped=self._dropped,
-            crashed=crashed,
+            messages=net._messages,
+            words=net._words,
+            outputs=protocol.outputs_batch(net),
+        )
+
+
+def _check_engine(engine: str) -> None:
+    if engine not in ("auto", "scalar", "batch"):
+        raise ProtocolError(
+            f"engine must be auto|scalar|batch, got {engine!r}"
         )

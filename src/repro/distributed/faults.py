@@ -21,7 +21,9 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Any
 
-from ..arrayops import counter_uniform, seed_state
+import numpy as np
+
+from ..arrayops import counter_uniform, counter_uniforms, seed_state
 from ..exceptions import ProtocolError
 
 __all__ = ["FaultPlan"]
@@ -43,6 +45,22 @@ def _edge_key(u: int, v: int) -> int:
 
 def _link_key(u: int, v: int) -> int:
     return _edge_key(u, v) if u <= v else _edge_key(v, u)
+
+
+def _edge_keys(us: np.ndarray, vs: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`_edge_key`, naming the first offending pair."""
+    big = (us >= _NODE_SPAN) | (vs >= _NODE_SPAN)
+    if big.any():
+        i = int(np.argmax(big))
+        raise ProtocolError(
+            f"FaultPlan edge draws support node ids < {_NODE_SPAN}, "
+            f"got ({int(us[i])}, {int(vs[i])})"
+        )
+    return us * _NODE_SPAN + vs
+
+
+def _link_keys(us: np.ndarray, vs: np.ndarray) -> np.ndarray:
+    return _edge_keys(np.minimum(us, vs), np.maximum(us, vs))
 
 
 @dataclass(frozen=True)
@@ -125,6 +143,18 @@ class FaultPlan:
                 f"FaultPlan.recover_after must be > 0, got "
                 f"{self.recover_after}"
             )
+        # Premixed per-stream hash states, kept as plain Python ints: the
+        # scalar draw path is pure int arithmetic and one transmission
+        # makes up to four draws, so re-deriving the state each call was
+        # measurable in fault-run profiles.
+        object.__setattr__(
+            self,
+            "_states",
+            tuple(
+                int(seed_state(self.seed * 1_000_003 + tag))
+                for tag in range(7)
+            ),
+        )
 
     # ------------------------------------------------------------------
     @classmethod
@@ -150,8 +180,8 @@ class FaultPlan:
         """Same fault intensity, fresh randomness."""
         return replace(self, seed=seed)
 
-    def _state(self, tag: int):
-        return seed_state(self.seed * 1_000_003 + tag)
+    def _state(self, tag: int) -> int:
+        return self._states[tag]
 
     # ------------------------------------------------------------------
     # Node-level decisions
@@ -233,6 +263,122 @@ class FaultPlan:
                 < self.drop_rate
             )
         return False
+
+    # ------------------------------------------------------------------
+    # Vectorized draw kernels (batch event engine)
+    # ------------------------------------------------------------------
+    # Each kernel is the array-native form of the scalar method above and
+    # is bit-for-bit equal to calling it elementwise: every draw is a pure
+    # function of (seed, identifiers, counter), so composing full masks
+    # instead of short-circuiting changes nothing.  The batch event engine
+    # defers an epoch's drop/latency draws and evaluates them here in one
+    # hash pass per stream.
+
+    def crash_schedules(
+        self, nodes: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``(crash_at, recover_at)`` float64 arrays over ``nodes``;
+        ``inf`` marks never-crashes (both) and fail-stop (recover only)."""
+        nodes = np.asarray(nodes, dtype=np.int64)
+        crash_at = np.full(nodes.shape, np.inf)
+        recover_at = np.full(nodes.shape, np.inf)
+        if self.crash_rate == 0.0:
+            return crash_at, recover_at
+        hit = (
+            counter_uniforms(self._state(_T_CRASH), nodes, 0)
+            < self.crash_rate
+        )
+        lo, hi = self.crash_window
+        at = lo + counter_uniforms(self._state(_T_CRASH_AT), nodes, 0) * (
+            hi - lo
+        )
+        crash_at[hit] = at[hit]
+        if self.recover_after is not None:
+            recover_at[hit] = at[hit] + self.recover_after
+        return crash_at, recover_at
+
+    def alive_at(self, nodes: np.ndarray, at: float) -> np.ndarray:
+        """Boolean mask over ``nodes``: not crashed (or already recovered)
+        at global time ``at``.  Elementwise ``not dead_at(node, at)``."""
+        nodes = np.asarray(nodes, dtype=np.int64)
+        if self.crash_rate == 0.0:
+            return np.ones(nodes.shape, dtype=bool)
+        crash_at, recover_at = self.crash_schedules(nodes)
+        dead = (at >= crash_at) & (at < recover_at)
+        if self.recover_after is None:
+            dead = at >= crash_at
+        return ~dead
+
+    def clock_rates(self, nodes: np.ndarray) -> np.ndarray:
+        """Per-node clock speeds; elementwise :meth:`clock_rate`."""
+        nodes = np.asarray(nodes, dtype=np.int64)
+        if self.drift == 0.0:
+            return np.ones(nodes.shape)
+        u = counter_uniforms(self._state(_T_DRIFT), nodes, 0)
+        return 1.0 + self.drift * (2.0 * u - 1.0)
+
+    def latencies(
+        self, us: np.ndarray, vs: np.ndarray, counters: np.ndarray
+    ) -> np.ndarray:
+        """Delivery delays of the ``counters``-th transmissions
+        ``us -> vs``; elementwise :meth:`latency_of`."""
+        us = np.asarray(us, dtype=np.int64)
+        vs = np.asarray(vs, dtype=np.int64)
+        if self.jitter == 0.0:
+            return np.full(us.shape, self.latency)
+        draws = counter_uniforms(
+            self._state(_T_LAT), _edge_keys(us, vs), counters
+        )
+        return self.latency + self.jitter * draws
+
+    def link_down_mask(
+        self, us: np.ndarray, vs: np.ndarray, at: float
+    ) -> np.ndarray:
+        """Flap mask over the undirected links ``{us, vs}`` at time
+        ``at``; elementwise :meth:`link_down`."""
+        us = np.asarray(us, dtype=np.int64)
+        vs = np.asarray(vs, dtype=np.int64)
+        if self.flap_rate == 0.0:
+            return np.zeros(us.shape, dtype=bool)
+        keys = _link_keys(us, vs)
+        state = self._state(_T_FLAP)
+        flapped = counter_uniforms(state, keys, 0) < self.flap_rate
+        phase = counter_uniforms(state, keys, 1)
+        cycle = (at / self.flap_period + phase) % 1.0
+        return flapped & (cycle < self.flap_down)
+
+    def drop_mask(
+        self,
+        us: np.ndarray,
+        vs: np.ndarray,
+        counters: np.ndarray,
+        at: float,
+    ) -> np.ndarray:
+        """Loss mask for the ``counters``-th transmissions ``us -> vs``
+        all sent at time ``at``; elementwise :meth:`dropped`."""
+        us = np.asarray(us, dtype=np.int64)
+        vs = np.asarray(vs, dtype=np.int64)
+        counters = np.asarray(counters, dtype=np.int64)
+        lost = self.link_down_mask(us, vs, at)
+        if self.burst_rate > 0.0:
+            window = int(at // self.burst_window)
+            state = self._state(_T_BURST)
+            bursting = (
+                counter_uniforms(state, _link_keys(us, vs), window)
+                < self.burst_rate
+            )
+            keys = _edge_keys(us, vs)
+            lost |= bursting & (
+                counter_uniforms(state, keys, counters) < self.burst_drop
+            )
+        if self.drop_rate > 0.0:
+            lost |= (
+                counter_uniforms(
+                    self._state(_T_DROP), _edge_keys(us, vs), counters
+                )
+                < self.drop_rate
+            )
+        return lost
 
     # ------------------------------------------------------------------
     def describe(self) -> dict[str, Any]:

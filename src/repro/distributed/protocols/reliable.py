@@ -45,7 +45,13 @@ from typing import Any, Mapping
 
 from ...exceptions import SimulationLimitError
 from ..engine import Protocol
-from ..event_engine import Ctl, EventNodeContext, EventProtocol, Multi, Resend
+from ..event_engine import (
+    BatchEventProtocol,
+    Ctl,
+    EventNodeContext,
+    Multi,
+    Resend,
+)
 
 __all__ = ["HardenedProtocol", "harden"]
 
@@ -86,7 +92,7 @@ class _InnerCtx:
         self._rel["inner_halted"] = True
 
 
-class HardenedProtocol(EventProtocol):
+class HardenedProtocol(BatchEventProtocol):
     """Run a synchronous protocol reliably on an unreliable network.
 
     Parameters
@@ -157,7 +163,7 @@ class HardenedProtocol(EventProtocol):
     ) -> None:
         mid = wire[2] if kind in ("d", "s") else wire[1]
         rel["unacked"][mid] = [dest, wire, 0, kind]
-        outq[dest].append(wire if kind == "d" else Ctl(wire))
+        outq[dest].append((wire, "data" if kind == "d" else "ctl"))
         ctx.set_timer(self._timeout, ("rt", mid))
 
     def _next_mid(self, rel: dict) -> int:
@@ -267,12 +273,35 @@ class HardenedProtocol(EventProtocol):
 
     @staticmethod
     def _finalize(outq) -> dict[int, Any] | None:
+        """Wrap the buffered ``(wire, kind)`` emissions into the outbox
+        shape the scalar engine's dispatcher unwraps (plain wires for
+        data, :class:`Ctl`/:class:`Resend` markers, :class:`Multi` for
+        fan-in).  The batch epoch hooks skip this round trip entirely
+        via :meth:`_flush`; both orders bill and sequence identically."""
         if not outq:
             return None
-        return {
-            dest: items[0] if len(items) == 1 else Multi(items)
-            for dest, items in outq.items()
-        }
+        out: dict[int, Any] = {}
+        for dest, items in outq.items():
+            wrapped = [
+                wire
+                if kind == "data"
+                else (Ctl(wire) if kind == "ctl" else Resend(wire))
+                for wire, kind in items
+            ]
+            out[dest] = wrapped[0] if len(wrapped) == 1 else Multi(wrapped)
+        return out
+
+    @staticmethod
+    def _flush(engine, node: int, outq) -> None:
+        """Batch-tier emission: hand the buffered ``(wire, kind)`` pairs
+        to the engine directly, destination first-touch order then append
+        order -- exactly the order the scalar dispatcher walks the
+        finalized outbox, so sequence counters (which feed the fault
+        draws) are assigned identically."""
+        send = engine.send
+        for dest, items in outq.items():
+            for wire, kind in items:
+                send(node, dest, wire, kind)
 
     # ------------------------------------------------------------------
     # Event hooks
@@ -291,11 +320,7 @@ class HardenedProtocol(EventProtocol):
             ctx.set_timer(self._probe_every, ("probe",))
         return self._finalize(outq)
 
-    def on_deliver(self, ctx, inbox, now):
-        rel = ctx.state.get(_REL)
-        if rel is None:
-            return None
-        outq: dict[int, list] = defaultdict(list)
+    def _deliver_into(self, ctx, rel: dict, inbox, now: float, outq) -> None:
         seen = rel["seen"]
         for sender, items in inbox.items():
             for item in items:
@@ -304,7 +329,7 @@ class HardenedProtocol(EventProtocol):
                     self._on_ack(ctx, rel, outq, item[1])
                     continue
                 mid = item[2] if tag in ("d", "s") else item[1]
-                outq[sender].append(Ctl(("a", mid)))
+                outq[sender].append((("a", mid), "ctl"))
                 if (sender, mid) in seen:
                     continue
                 seen.add((sender, mid))
@@ -317,13 +342,26 @@ class HardenedProtocol(EventProtocol):
                     rel["byed"].add(sender)
                     rel["live"].discard(sender)
         self._pump(ctx, rel, outq, now)
-        return self._finalize(outq)
 
-    def on_timer(self, ctx, now, key):
+    def on_deliver(self, ctx, inbox, now):
         rel = ctx.state.get(_REL)
         if rel is None:
             return None
         outq: dict[int, list] = defaultdict(list)
+        self._deliver_into(ctx, rel, inbox, now, outq)
+        return self._finalize(outq)
+
+    def on_deliver_epoch(self, engine, now, batch):
+        for ctx, inbox in batch:
+            rel = ctx.state.get(_REL)
+            if rel is None:
+                continue
+            outq: dict[int, list] = defaultdict(list)
+            self._deliver_into(ctx, rel, inbox, now, outq)
+            if outq:
+                self._flush(engine, ctx.node, outq)
+
+    def _timer_into(self, ctx, rel: dict, now: float, key, outq) -> None:
         if key[0] == "rt":
             entry = rel["unacked"].get(key[1])
             if entry is not None:
@@ -333,7 +371,7 @@ class HardenedProtocol(EventProtocol):
                     self._declare_dead(ctx, rel, outq, dest)
                 else:
                     entry[2] = attempts
-                    outq[dest].append(Resend(wire))
+                    outq[dest].append((wire, "resend"))
                     ctx.set_timer(
                         self._timeout * self._backoff ** attempts,
                         ("rt", key[1]),
@@ -360,7 +398,29 @@ class HardenedProtocol(EventProtocol):
                         )
             ctx.set_timer(self._probe_every, ("probe",))
         self._pump(ctx, rel, outq, now)
+
+    def on_timer(self, ctx, now, key):
+        rel = ctx.state.get(_REL)
+        if rel is None:
+            return None
+        outq: dict[int, list] = defaultdict(list)
+        self._timer_into(ctx, rel, now, key, outq)
         return self._finalize(outq)
+
+    def on_timer_epoch(self, engine, now, fires):
+        contexts = engine._contexts
+        for entry in fires:
+            ctx = contexts[entry[3]]
+            if not ctx.alive or ctx.halted:
+                continue
+            engine._stepped = True
+            rel = ctx.state.get(_REL)
+            if rel is None:
+                continue
+            outq: dict[int, list] = defaultdict(list)
+            self._timer_into(ctx, rel, now, entry[4], outq)
+            if outq:
+                self._flush(engine, ctx.node, outq)
 
     def on_recover(self, ctx, now):
         # Graceful withdrawal: a recovered node does not rejoin the

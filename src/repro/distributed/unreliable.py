@@ -273,6 +273,7 @@ def _execute(
     max_time: float,
     max_events: int,
     hardening: Mapping[str, Any] | None,
+    engine: str,
 ) -> tuple[EventNetwork, RunResult]:
     plan = plan if plan is not None else FaultPlan()
     net = EventNetwork(
@@ -284,9 +285,11 @@ def _execute(
         max_events=max_events,
     )
     if plan.zero_fault and plan.latency == 1.0:
-        result = net.run_sync(protocol)
+        result = net.run_sync(protocol, engine=engine)
     else:
-        result = net.run(harden(protocol, **(hardening or {})))
+        result = net.run(
+            harden(protocol, **(hardening or {})), engine=engine
+        )
     return net, result
 
 
@@ -300,17 +303,20 @@ def run_luby_mis_event(
     max_time: float = 1_000_000.0,
     max_events: int = 5_000_000,
     hardening: Mapping[str, Any] | None = None,
+    engine: str = "auto",
 ) -> EventMISRun:
     """Luby MIS on the event tier, repaired and verified on survivors.
 
     ``topology`` takes any engine form (Graph, mapping, CSR pair).
     Under a zero-fault unit-latency plan this runs the synchronous
     adapter, so outputs equal ``SynchronousNetwork.run(...,
-    engine="scalar")`` exactly.
+    engine="scalar")`` exactly.  ``engine`` selects the event execution
+    path (``auto``/``batch``/``scalar``) -- the batch wheel is pinned
+    bit-equal to the scalar heap, so this only affects wall time.
     """
     net, result = _execute(
         topology, LubyMIS(seed=seed), plan, fault_labels, t0,
-        max_time, max_events, hardening,
+        max_time, max_events, hardening, engine,
     )
     crashed = set(result.crashed)
     adjacency = net.adjacency()
@@ -339,6 +345,7 @@ def run_bfs_event(
     max_time: float = 1_000_000.0,
     max_events: int = 5_000_000,
     hardening: Mapping[str, Any] | None = None,
+    engine: str = "auto",
 ) -> EventBFSRun:
     """BFS tree on the event tier, re-attached and verified on survivors.
 
@@ -347,7 +354,7 @@ def run_bfs_event(
     recovery from a dead initiator)."""
     net, result = _execute(
         topology, BFSTree(root, patience=patience), plan, fault_labels,
-        t0, max_time, max_events, hardening,
+        t0, max_time, max_events, hardening, engine,
     )
     crashed = set(result.crashed)
     adjacency = net.adjacency()

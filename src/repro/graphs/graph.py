@@ -176,6 +176,10 @@ class Graph:
         "_snapshot",
         "_snapshot_rows",
         "_tail_work",
+        "_revision",
+        "_probe_cache",
+        "_probe_hits",
+        "_probe_misses",
     )
 
     def __init__(self, num_vertices: int) -> None:
@@ -206,6 +210,13 @@ class Graph:
         # Tail-scan work accumulated since the last fold; shared with
         # every snapshot handed out so scans on held snapshots count.
         self._tail_work: list[int] = [0]
+        # Monotone edge-mutation counter plus the dense-vs-sparse
+        # probe-outcome cache it keys (see repro.graphs.paths.
+        # prefer_batched_sources); hit/miss counters feed build reports.
+        self._revision = 0
+        self._probe_cache: dict[tuple[int, bool, int], bool] = {}
+        self._probe_hits = 0
+        self._probe_misses = 0
 
     # ------------------------------------------------------------------
     # Append-log plumbing
@@ -247,6 +258,7 @@ class Graph:
         self._row_of[(a, b)] = i
         self._log_len = i + 1
         self._edges_cache = None
+        self._revision += 1
 
     def _log_set_weight(self, row: int, w: float) -> None:
         """Overwrite one row's weight in place (copy-on-write)."""
@@ -257,6 +269,7 @@ class Graph:
         self._base_csr = None
         self._base_rows = 0
         self._snapshot = None
+        self._revision += 1
 
     def _log_delete(self, a: int, b: int) -> None:
         """Swap-delete one normalized edge row (copy-on-write)."""
@@ -276,6 +289,7 @@ class Graph:
         self._base_csr = None
         self._base_rows = 0
         self._snapshot = None
+        self._revision += 1
 
     # ------------------------------------------------------------------
     # Basic queries
@@ -289,6 +303,19 @@ class Graph:
     def num_edges(self) -> int:
         """Number of edges currently present."""
         return self._num_edges
+
+    @property
+    def revision(self) -> int:
+        """Monotone count of edge mutations (appends, weight overwrites,
+        deletes; bulk inserts bump once per batch).  Keys caches whose
+        validity ends with any edge change, such as the dense-vs-sparse
+        probe cache of :func:`repro.graphs.paths.prefer_batched_sources`."""
+        return self._revision
+
+    def probe_cache_stats(self) -> dict[str, int]:
+        """Hit/miss counters of the dense-vs-sparse probe-outcome cache
+        (see :func:`repro.graphs.paths.prefer_batched_sources`)."""
+        return {"hits": self._probe_hits, "misses": self._probe_misses}
 
     def vertices(self) -> range:
         """The vertex ids ``range(n)``."""
@@ -486,6 +513,7 @@ class Graph:
                 adj[y][x] = wt
             self._num_edges += k
             self._edges_cache = None
+            self._revision += 1
             return
         self._log_reserve(k)
         new_edges = 0

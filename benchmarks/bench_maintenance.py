@@ -1,0 +1,122 @@
+"""Incremental maintenance benches (ISSUE 9 acceptance).
+
+Pins the engine's reason to exist: under churn, a local dirty-ball
+repair must beat rebuilding the spanner from scratch by a wide margin.
+Each bench verifies the maintained spanner first (the stretch invariant
+is what makes the speedup meaningful) and then records the wall-clock
+trajectory in the ``results/bench`` store; the amortized ``>= 10x``
+per-event speedup at ``n = 10^4`` under 1% churn is asserted outright.
+
+Run everything::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_maintenance.py -s
+
+CI smoke runs ``-k "not 10000"``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core import MaintenanceSession, events_from_fault_plan
+from repro.distributed.faults import FaultPlan
+from repro.experiments.workloads import make_mobility
+from repro.geometry.sampling import uniform_points
+
+CHURN = 0.01  # fraction of nodes moving in the measured burst
+
+
+@pytest.mark.parametrize("n", [2000, 10000])
+def test_repair_vs_rebuild(benchmark, bench_gate, n):
+    """Amortized per-event local repair vs the from-scratch rebuild
+    every event would otherwise pay."""
+    pts = uniform_points(n, dim=2, seed=1234, expected_degree=8.0)
+
+    t0 = time.perf_counter()
+    session = MaintenanceSession(pts, 0.5)
+    build_s = time.perf_counter() - t0
+
+    model = make_mobility("random_waypoint", pts.coords, seed=99, speed=0.2)
+    moves = model.step(CHURN)
+
+    def churn_burst():
+        for node, pos in moves:
+            session.move(node, pos)
+        return session
+
+    benchmark.pedantic(churn_burst, rounds=1, iterations=1)
+    wall_s = benchmark.stats.stats.mean
+    event_s = wall_s / len(moves)
+    speedup = build_s / event_s if event_s > 0 else float("inf")
+
+    check = session.verify()
+    assert check["ok"], check  # the speedup only counts if the bound holds
+    stats = session.stats()
+    print(
+        f"\nmaintenance n={n}: build {build_s:.3f}s, "
+        f"{1e3 * event_s:.2f}ms/event over {len(moves)} events "
+        f"(amortized x{speedup:.0f} vs rebuild, "
+        f"{int(stats['resyncs'])} resyncs)"
+    )
+    if n >= 10000:
+        # The ISSUE 9 headline: >= 10x amortized per-event repair at
+        # n = 10^4 under 1% churn.
+        assert speedup >= 10.0, (
+            f"amortized repair speedup x{speedup:.1f} < x10 at n={n}"
+        )
+    bench_gate(
+        f"maintenance-repair-n{n}",
+        {
+            "n": n,
+            "churn": CHURN,
+            "events": len(moves),
+            "build_s": build_s,
+            "wall_s": wall_s,
+            "event_s": event_s,
+            "speedup": speedup,
+            "resyncs": stats["resyncs"],
+            "repaired_edges": stats["repaired_edges"],
+        },
+    )
+
+
+def test_churn_burst_budget(benchmark, bench_gate):
+    """A crash/recover storm (FaultPlan adapter) plus a mobility wave:
+    the mixed-event burst must stay within the stored wall budget."""
+    n = 2000
+    pts = uniform_points(n, dim=2, seed=77, expected_degree=8.0)
+    session = MaintenanceSession(pts, 0.5)
+
+    plan = FaultPlan(seed=5, crash_rate=0.01, recover_after=3.0)
+    fault_events = events_from_fault_plan(plan, range(n), horizon=1e9)
+    model = make_mobility("flocking", pts.coords, seed=13, speed=0.15)
+    moves = model.step(CHURN)
+
+    def burst():
+        session.apply_stream(fault_events)
+        for node, pos in moves:
+            session.move(node, pos)
+        return session
+
+    benchmark.pedantic(burst, rounds=1, iterations=1)
+    wall_s = benchmark.stats.stats.mean
+    events = len(fault_events) + len(moves)
+
+    assert session.verify()["ok"]
+    print(
+        f"\nchurn burst n={n}: {events} mixed events in {wall_s:.3f}s "
+        f"({1e3 * wall_s / events:.2f}ms/event)"
+    )
+    bench_gate(
+        "maintenance-churn-burst-n2000",
+        {
+            "n": n,
+            "events": events,
+            "crash_events": len(fault_events),
+            "move_events": len(moves),
+            "wall_s": wall_s,
+            "event_s": wall_s / events,
+        },
+    )

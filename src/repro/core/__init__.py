@@ -15,6 +15,12 @@ from .oracle import (
     as_oracle,
     has_batch_pairs,
 )
+from .maintenance import (
+    MaintenanceEvent,
+    MaintenanceSession,
+    RepairReport,
+    events_from_fault_plan,
+)
 from .leapfrog import (
     LeapfrogReport,
     check_subset,
@@ -56,6 +62,10 @@ __all__ = [
     "split_covered_reference",
     "QuerySelection",
     "select_query_edges",
+    "MaintenanceEvent",
+    "MaintenanceSession",
+    "RepairReport",
+    "events_from_fault_plan",
     "GreedyStats",
     "seq_greedy",
     "greedy_spanner_of_clique",

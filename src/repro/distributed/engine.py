@@ -47,6 +47,7 @@ to them, so a protocol object itself is reusable across runs.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping
 
@@ -624,6 +625,15 @@ class SynchronousNetwork:
                 )
             # Not shard-capable (or empty topology): fall back to the
             # single-process batch tier, which is bit-identical anyway.
+            if self.nodes:
+                warnings.warn(
+                    f"{protocol.name}: shards={shards} requested but the "
+                    "protocol is not shard-capable; falling back to the "
+                    "single-process batch tier (results are identical, "
+                    "but the run is not partitioned)",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
         if batch_capable and engine != "scalar":
             return self._run_batch(protocol)
         return self._run_scalar(protocol)

@@ -20,6 +20,7 @@ computed per instance).
 
 from __future__ import annotations
 
+import operator
 from typing import Any, Callable, Mapping
 
 import numpy as np
@@ -57,6 +58,21 @@ class ConvergecastSum(BatchProtocol):
 
     name = "convergecast"
 
+    # Shard contract: accumulators and waiting counters are per-node
+    # (owner-authoritative), outboxes live on slots (halo rows synced
+    # from the row owner each round), and the forest arrays are
+    # recomputed per shard -- parent_slot holds *shard-local* slot ids,
+    # so it must never be shipped between shards.
+    supports_shard = True
+    batch_state_sync = {
+        "acc": "node",
+        "waiting": "node",
+        "outbox": "slot",
+        "outbox_val": "slot",
+        "is_root": "replicated",
+        "parent_slot": "replicated",
+    }
+
     def __init__(
         self,
         parents: Mapping[int, int],
@@ -65,7 +81,9 @@ class ConvergecastSum(BatchProtocol):
     ) -> None:
         self._parents = dict(parents)
         self._values = dict(values)
-        self._combine = combine if combine is not None else (lambda a, b: a + b)
+        # operator.add (not a lambda) keeps the protocol picklable for
+        # the sharded tier's fork worker pool.
+        self._combine = combine if combine is not None else operator.add
         numeric = all(
             isinstance(v, (int, float)) for v in self._values.values()
         )
@@ -149,7 +167,10 @@ class ConvergecastSum(BatchProtocol):
         outbox_val = np.zeros(net.num_slots, dtype=np.float64)
         leaves = waiting == 0
         net.halt(leaves)
-        senders = leaves & ~is_root
+        # parent_slot >= 0 excludes rim nodes of a sharded context (their
+        # rows are empty, so they have no parent slot here); single
+        # process it is implied by ~is_root.
+        senders = leaves & ~is_root & (parent_slot >= 0)
         slots = parent_slot[senders]
         outbox[slots] = True
         outbox_val[slots] = acc[senders]
@@ -179,7 +200,7 @@ class ConvergecastSum(BatchProtocol):
             st["waiting"] -= np.bincount(receivers, minlength=net.num_nodes)
         ready = net.active & (st["waiting"] == 0)
         net.halt(ready)
-        senders = ready & ~st["is_root"]
+        senders = ready & ~st["is_root"] & (st["parent_slot"] >= 0)
         slots = st["parent_slot"][senders]
         outbox[slots] = True
         outbox_val[slots] = st["acc"][senders]

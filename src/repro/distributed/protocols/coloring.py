@@ -47,7 +47,11 @@ def _cv_step_batch(color: np.ndarray, parent_color: np.ndarray) -> np.ndarray:
     2^53 (far beyond any vertex count here).
     """
     diff = color ^ parent_color
-    low = diff & -diff
+    # A proper CV coloring never has color == parent_color, but sharded
+    # halo lanes can carry a node's own color as its pseudo parent color
+    # (those lanes are owner-overwritten after the round); force a set
+    # bit so the shift below stays defined.
+    low = np.where(diff == 0, 1, diff & -diff)
     _, exp = np.frexp(low.astype(np.float64))
     index = exp.astype(np.int64) - 1
     bit = (color >> index) & 1
@@ -71,6 +75,20 @@ class TreeSixColoring(BatchProtocol):
     """
 
     name = "cv-six-coloring"
+
+    # Shard contract: colors are per-node (owner-authoritative), the
+    # step counter advances in lockstep everywhere, and the forest
+    # arrays are recomputed per shard in shard-local slot space (so
+    # parent_slot / child_slot_mask are never shipped; the mask's halo
+    # rows are synced from the row owner).
+    supports_shard = True
+    batch_state_sync = {
+        "color": "node",
+        "child_slot_mask": "slot",
+        "is_root": "replicated",
+        "parent_slot": "replicated",
+        "step": "replicated",
+    }
 
     def __init__(self, parents: Mapping[int, int], rounds: int) -> None:
         if rounds < 0:
@@ -131,20 +149,20 @@ class TreeSixColoring(BatchProtocol):
             self._parents,
             error="parent {parent} of {node} is not a topology neighbor",
         )
-        child_slots = np.flatnonzero(child_slot_mask)
         color = net.labels.astype(np.int64).copy()
         net.state.update(
             color=color,
             is_root=is_root,
             parent_slot=parent_slot,
-            child_slots=child_slots,
+            child_slot_mask=child_slot_mask,
             step=0,
         )
         if self._rounds == 0:
             net.halt(np.ones(n, dtype=bool))
             return
-        # Colors travel as one-word int payloads down every child slot.
-        net.post(int(child_slots.size), int(child_slots.size))
+        # Colors travel as one-word int payloads down every child slot
+        # (slot-attributed so the sharded tier bills owned senders only).
+        net.post_slots(child_slot_mask, 1)
 
     def on_round_batch(self, net: BatchContext) -> None:
         st = net.state
@@ -162,7 +180,7 @@ class TreeSixColoring(BatchProtocol):
         if st["step"] >= self._rounds:
             net.halt(np.ones(net.num_nodes, dtype=bool))
             return
-        net.post(int(st["child_slots"].size), int(st["child_slots"].size))
+        net.post_slots(st["child_slot_mask"], 1)
 
     def outputs_batch(self, net: BatchContext) -> dict[int, int]:
         color = net.state["color"]

@@ -18,13 +18,22 @@ from . import (  # noqa: F401 -- imported for registration side effects
     e9_energy,
     e10_fault,
     e11_chaos,
+    e12_churn,
     f_lemmas,
     x1_doubling,
 )
 from .bench_store import BenchStore
 from .failures import FAULT_REGISTRY, FaultScenarioSpec, fault_scenario
 from .runner import EXPERIMENT_REGISTRY, ExperimentResult, format_table
-from .workloads import WORKLOAD_NAMES, Workload, make_workload
+from .workloads import (
+    MOBILITY_REGISTRY,
+    WORKLOAD_NAMES,
+    MobilitySpec,
+    Workload,
+    make_mobility,
+    make_workload,
+    mobility_names,
+)
 
 __all__ = [
     "EXPERIMENT_REGISTRY",
@@ -34,6 +43,10 @@ __all__ = [
     "Workload",
     "make_workload",
     "WORKLOAD_NAMES",
+    "MOBILITY_REGISTRY",
+    "MobilitySpec",
+    "make_mobility",
+    "mobility_names",
     "FAULT_REGISTRY",
     "FaultScenarioSpec",
     "fault_scenario",

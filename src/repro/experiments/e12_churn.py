@@ -1,0 +1,141 @@
+"""E12 -- dynamic maintenance: quality and cost vs churn rate.
+
+Drives a :class:`repro.core.MaintenanceSession` with the registered
+mobility samplers (random waypoint, convoy, flocking) at increasing
+churn rates and measures what local repair costs and what it gives up
+relative to the static pipeline.  Shape:
+
+* after every churn epoch the maintained spanner still satisfies the
+  tested stretch bound over the maintained base graph (the invariant
+  :meth:`MaintenanceSession.verify` certifies);
+* the **zero-churn row is pinned bit-equal to the static build** --
+  same base edge table, same spanner edge table, float weights
+  included -- so the dynamic engine provably adds nothing when nothing
+  moves;
+* per-event repair cost (milliseconds) and the amortized speedup over
+  a from-scratch rebuild are recorded per row, alongside the spanner
+  size ratio against the rebuilt reference (quality drift).
+
+``repro sweep --experiments E12`` re-verifies the claim across the
+deployment grid (the ``scenarios``/``sizes`` kwargs plug into the
+sweep driver's cell overrides).
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..core.maintenance import MaintenanceSession
+from .runner import ExperimentResult, register, stopwatch
+from .workloads import make_mobility, make_workload, mobility_names
+
+__all__ = ["run"]
+
+
+@register("E12")
+def run(
+    quick: bool = False,
+    seed: int = 0,
+    *,
+    scenarios: tuple[str, ...] | None = None,
+    sizes: tuple[int, ...] | None = None,
+    churn_rates: tuple[float, ...] | None = None,
+    mobility: tuple[str, ...] | None = None,
+    epochs: int | None = None,
+) -> ExperimentResult:
+    """Execute E12.
+
+    ``scenarios``/``sizes`` override the workload cell (the sweep
+    driver passes one cell at a time); ``churn_rates`` is the fraction
+    of nodes moving per epoch (0.0 = the pinned static anchor);
+    ``mobility`` restricts the mobility models driving the churn.
+    """
+    n = sizes[0] if sizes else (48 if quick else 200)
+    scenario = scenarios[0] if scenarios else "uniform"
+    rates = tuple(churn_rates) if churn_rates else (
+        (0.0, 0.02, 0.1) if quick else (0.0, 0.01, 0.02, 0.05, 0.1)
+    )
+    models = tuple(mobility) if mobility else (
+        ("random_waypoint",) if quick else mobility_names()
+    )
+    num_epochs = epochs if epochs is not None else (3 if quick else 6)
+    eps = 0.5
+
+    workload = make_workload(scenario, n, seed=seed + 12)
+    coords = workload.points.coords
+
+    # One static-pipeline cost anchor per cell: what a from-scratch
+    # rebuild of this workload's spanner costs (the thing every event
+    # would pay without the maintenance engine).
+    t0 = time.perf_counter()
+    probe = MaintenanceSession(workload.points, eps)
+    rebuild_s = time.perf_counter() - t0
+
+    result = ExperimentResult(
+        experiment="E12",
+        claim=(
+            "incremental maintenance: local repair keeps the stretch "
+            "bound under mobility churn; zero churn is bit-equal to "
+            "the static build"
+        ),
+        notes=(
+            "mobility samplers -> MaintenanceSession.move; speedup = "
+            "rebuild cost / mean per-event repair cost"
+        ),
+    )
+    del probe
+    for model_name in models:
+        for rate in rates:
+            row = {
+                "scenario": scenario,
+                "n": n,
+                "mobility": model_name,
+                "churn": rate,
+            }
+            ok = True
+            with stopwatch(row):
+                session = MaintenanceSession(workload.points, eps)
+                if rate > 0.0:
+                    model = make_mobility(
+                        model_name, coords, seed=seed + 34, speed=0.25
+                    )
+                    for _ in range(num_epochs):
+                        for node, pos in model.step(rate):
+                            session.move(node, pos)
+                check = session.verify()
+                stats = session.stats()
+                _, ref = session.rebuild_reference()
+            ok &= check["ok"]
+            row.update(
+                events=stats["events"],
+                dirty_balls=stats["dirty_balls"],
+                repaired_edges=stats["repaired_edges"],
+                resyncs=stats["resyncs"],
+                event_ms=round(1e3 * stats["mean_wall_s"], 3),
+                rebuild_ms=round(1e3 * rebuild_s, 3),
+                speedup=round(
+                    rebuild_s / max(stats["mean_wall_s"], 1e-9), 2
+                )
+                if stats["events"]
+                else None,
+                spanner_edges=session.spanner.num_edges,
+                edges_ratio=round(
+                    session.spanner.num_edges / max(ref.spanner.num_edges, 1),
+                    4,
+                ),
+                max_degree=session.spanner.max_degree(),
+                stretch_ok=check["ok"],
+            )
+            if rate == 0.0:
+                # The anchor row: an event-free session must be the
+                # static pipeline, bit for bit.
+                static_equal = sorted(session.spanner.edges()) == sorted(
+                    ref.spanner.edges()
+                ) and sorted(session.graph.edges()) == sorted(
+                    workload.graph.edges()
+                )
+                row["static_equal"] = static_equal
+                ok &= static_equal
+            result.rows.append(row)
+            result.passed &= ok
+    return result

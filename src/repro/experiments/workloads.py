@@ -48,6 +48,16 @@ __all__ = [
     "register_scenario",
     "get_scenario",
     "scenario_names",
+    "MobilityModel",
+    "RandomWaypointModel",
+    "ConvoyModel",
+    "FlockingModel",
+    "MobilitySpec",
+    "MOBILITY_REGISTRY",
+    "register_mobility",
+    "get_mobility",
+    "mobility_names",
+    "make_mobility",
 ]
 
 #: Factory signature: ``(n, rng, degree) -> PointSet``.  ``degree`` is the
@@ -285,3 +295,244 @@ def make_workload(
             policy = DecayPolicy(alpha, seed=seed)
         graph = build_qubg(points, alpha, policy=policy)
     return Workload(name=name, points=points, graph=graph, alpha=alpha, seed=seed)
+
+
+# ----------------------------------------------------------------------
+# Mobility samplers (churn workloads for the maintenance engine)
+# ----------------------------------------------------------------------
+class MobilityModel:
+    """Deterministic node motion over the deployment's bounding box.
+
+    Subclasses implement :meth:`_displacements`; the base class picks
+    which nodes move, keeps every node inside the initial bounding box,
+    and reports moves as ``(node, new_position)`` pairs ready to feed
+    :meth:`repro.core.MaintenanceSession.move`.  All randomness flows
+    through the single generator handed to the constructor, so a seed
+    fully determines the trajectory (in any dimension).
+    """
+
+    def __init__(
+        self,
+        coords: np.ndarray,
+        rng: np.random.Generator,
+        *,
+        speed: float = 0.2,
+    ) -> None:
+        coords = np.asarray(coords, dtype=np.float64)
+        if coords.ndim != 2 or coords.shape[0] == 0:
+            raise GraphError("mobility expects a non-empty (n, d) array")
+        if speed <= 0.0:
+            raise GraphError("mobility speed must be positive")
+        self.coords = coords.copy()
+        self.speed = float(speed)
+        self._rng = rng
+        self._lo = self.coords.min(axis=0)
+        self._hi = np.maximum(self.coords.max(axis=0), self._lo + 1e-9)
+
+    @property
+    def n(self) -> int:
+        """Number of mobile nodes."""
+        return int(self.coords.shape[0])
+
+    @property
+    def dim(self) -> int:
+        """Euclidean dimension."""
+        return int(self.coords.shape[1])
+
+    def step(
+        self, move_fraction: float = 1.0
+    ) -> list[tuple[int, np.ndarray]]:
+        """Advance one epoch; return ``(node, new_pos)`` for each mover."""
+        if not 0.0 < move_fraction <= 1.0:
+            raise GraphError("move_fraction must be in (0, 1]")
+        k = min(self.n, max(1, int(round(move_fraction * self.n))))
+        movers = np.sort(
+            self._rng.choice(self.n, size=k, replace=False)
+        ).astype(np.int64)
+        new = self.coords[movers] + self._displacements(movers)
+        np.clip(new, self._lo, self._hi, out=new)
+        self.coords[movers] = new
+        return [(int(i), new[j].copy()) for j, i in enumerate(movers)]
+
+    def _displacements(self, movers: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+
+class RandomWaypointModel(MobilityModel):
+    """Each node walks toward an i.i.d. waypoint, redrawn on arrival."""
+
+    def __init__(self, coords, rng, *, speed: float = 0.2) -> None:
+        super().__init__(coords, rng, speed=speed)
+        self._targets = self._draw(self.n)
+
+    def _draw(self, count: int) -> np.ndarray:
+        return self._rng.uniform(self._lo, self._hi, size=(count, self.dim))
+
+    def _displacements(self, movers: np.ndarray) -> np.ndarray:
+        vec = self._targets[movers] - self.coords[movers]
+        dist = np.linalg.norm(vec, axis=1)
+        arrived = dist <= self.speed
+        # Arrivals land exactly on the waypoint, then draw the next one.
+        scale = np.where(arrived, 1.0, self.speed / np.maximum(dist, 1e-12))
+        if arrived.any():
+            self._targets[movers[arrived]] = self._draw(int(arrived.sum()))
+        return vec * scale[:, None]
+
+
+class ConvoyModel(MobilityModel):
+    """Formation travel: a shared drifting heading plus per-node jitter."""
+
+    def __init__(
+        self,
+        coords,
+        rng,
+        *,
+        speed: float = 0.2,
+        turn_std: float = 0.25,
+        jitter: float = 0.05,
+    ) -> None:
+        super().__init__(coords, rng, speed=speed)
+        self._turn_std = float(turn_std)
+        self._jitter = float(jitter)
+        heading = self._rng.normal(size=self.dim)
+        self._heading = heading / max(np.linalg.norm(heading), 1e-12)
+
+    def _displacements(self, movers: np.ndarray) -> np.ndarray:
+        turned = self._heading + self._rng.normal(
+            0.0, self._turn_std, size=self.dim
+        )
+        self._heading = turned / max(np.linalg.norm(turned), 1e-12)
+        jitter = self._rng.normal(
+            0.0, self._jitter * self.speed, size=(movers.size, self.dim)
+        )
+        return self.speed * self._heading + jitter
+
+
+class FlockingModel(MobilityModel):
+    """Boids-style drift: alignment + cohesion at constant speed."""
+
+    def __init__(
+        self,
+        coords,
+        rng,
+        *,
+        speed: float = 0.2,
+        alignment: float = 0.5,
+        cohesion: float = 0.05,
+        jitter: float = 0.1,
+    ) -> None:
+        super().__init__(coords, rng, speed=speed)
+        self._alignment = float(alignment)
+        self._cohesion = float(cohesion)
+        self._jitter = float(jitter)
+        vel = self._rng.normal(size=(self.n, self.dim))
+        norms = np.maximum(np.linalg.norm(vel, axis=1), 1e-12)
+        self._vel = self.speed * vel / norms[:, None]
+
+    def _displacements(self, movers: np.ndarray) -> np.ndarray:
+        mean_vel = self._vel.mean(axis=0)
+        center = self.coords.mean(axis=0)
+        vel = self._vel[movers]
+        vel = vel + self._alignment * (mean_vel - vel)
+        vel = vel + self._cohesion * (center - self.coords[movers])
+        vel = vel + self._rng.normal(
+            0.0, self._jitter * self.speed, size=vel.shape
+        )
+        norms = np.maximum(np.linalg.norm(vel, axis=1), 1e-12)
+        vel = self.speed * vel / norms[:, None]
+        self._vel[movers] = vel
+        return vel
+
+
+#: Factory signature: ``(coords, rng, speed) -> MobilityModel``.
+MobilityFactory = Callable[
+    [np.ndarray, np.random.Generator, float], MobilityModel
+]
+
+
+@dataclass(frozen=True)
+class MobilitySpec:
+    """Declarative description of one mobility pattern.
+
+    Mirrors :class:`ScenarioSpec`: experiments refer to mobility models
+    by name so churn rows in EXPERIMENTS.md stay reproducible.
+    """
+
+    name: str
+    summary: str
+    factory: MobilityFactory
+    tags: tuple[str, ...] = ()
+
+    def as_row(self) -> dict[str, object]:
+        """Flat dict form for table/JSON rendering."""
+        return {
+            "name": self.name,
+            "tags": ",".join(self.tags),
+            "summary": self.summary,
+        }
+
+
+#: name -> spec; populated by :func:`register_mobility` below.
+MOBILITY_REGISTRY: dict[str, MobilitySpec] = {}
+
+
+def register_mobility(spec: MobilitySpec) -> MobilitySpec:
+    """Add ``spec`` to the mobility registry (name must be unused)."""
+    if spec.name in MOBILITY_REGISTRY:
+        raise GraphError(f"mobility model {spec.name!r} already registered")
+    MOBILITY_REGISTRY[spec.name] = spec
+    return spec
+
+
+def get_mobility(name: str) -> MobilitySpec:
+    """Look up a mobility model by name."""
+    try:
+        return MOBILITY_REGISTRY[name]
+    except KeyError:
+        raise GraphError(
+            f"unknown mobility model {name!r}; "
+            f"choose from {mobility_names()}"
+        ) from None
+
+
+def mobility_names() -> tuple[str, ...]:
+    """All registered mobility model names, in registration order."""
+    return tuple(MOBILITY_REGISTRY)
+
+
+register_mobility(MobilitySpec(
+    name="random_waypoint",
+    summary="independent walks toward i.i.d. waypoints (classic RWP)",
+    factory=lambda c, rng, s: RandomWaypointModel(c, rng, speed=s),
+    tags=("independent",),
+))
+register_mobility(MobilitySpec(
+    name="convoy",
+    summary="formation travel behind one drifting shared heading",
+    factory=lambda c, rng, s: ConvoyModel(c, rng, speed=s),
+    tags=("correlated",),
+))
+register_mobility(MobilitySpec(
+    name="flocking",
+    summary="boids-style alignment + cohesion at constant speed",
+    factory=lambda c, rng, s: FlockingModel(c, rng, speed=s),
+    tags=("correlated",),
+))
+
+
+def make_mobility(
+    name: str,
+    coords: np.ndarray,
+    seed: int = 0,
+    *,
+    speed: float = 0.2,
+) -> MobilityModel:
+    """Instantiate the named mobility model over ``coords``.
+
+    Works in any dimension: the model inherits the dimensionality of
+    the coordinate array (2-D fields and 3-D drone swarms alike).
+    """
+    spec = get_mobility(name)
+    return spec.factory(
+        np.asarray(coords, dtype=np.float64), np.random.default_rng(seed), speed
+    )

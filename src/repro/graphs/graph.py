@@ -23,9 +23,13 @@ the result.  The tail folds into a fresh base *adaptively*: a work
 accumulator charges every tail lookup and layer merge, and compaction
 runs once the accumulated scan work would have paid for one rebuild --
 so append-only bursts stay O(changed) at any tail size while scan-heavy
-workloads fold exactly when folding is cheaper; deletions and
-weight overwrites still force a full base rebuild (one C-level pass,
-never a per-edge Python loop).  Snapshots handed out stay frozen: the
+workloads fold exactly when folding is cheaper.  Deletions and weight
+overwrites are tombstoned: the stale base entries are marked dead and
+swept out lazily by one C-level masked take at the next snapshot
+refresh (never a per-edge Python loop, never a full coordinate
+re-sort), with the sweep work charged to the same fold accumulator so
+sustained deletion churn escalates to a full rebuild exactly when that
+becomes cheaper.  Snapshots handed out stay frozen: the
 log copies itself before any in-place perturbation (copy-on-write), so
 callers may hold arrays across later mutations.
 """
@@ -53,6 +57,14 @@ _LOG_MIN_CAPACITY = 16
 #: time regardless of how large the tail grows relative to the log.
 _FOLD_WORK_FACTOR = 2
 
+#: Work charged to the fold accumulator per dead *directed* base entry
+#: (each deletion or overwrite of a base-resident edge marks two).  The
+#: lazy compaction sweep is one O(nnz) masked take -- far cheaper per
+#: entry than the coordinate re-sort of a full fold -- so deletions are
+#: billed at a flat per-tombstone rate: isolated deletes stay O(nnz)
+#: sweeps, sustained deletion churn accumulates toward a full rebuild.
+_DEAD_WORK_CHARGE = 16
+
 
 class CsrSnapshot:
     """Two-layer CSR snapshot: frozen base matrix + sorted directed tail.
@@ -62,9 +74,10 @@ class CsrSnapshot:
     appended since, as directed slot arrays sorted by ``(src, dst)``
     (both orientations, so ``tail_src``/``tail_dst``/``tail_w`` have
     ``2 * num_tail_edges`` entries).  Base and tail supports are
-    disjoint -- overwrites and deletions rebuild the base instead of
-    entering the tail -- so relaxing base rows plus tail slots visits
-    exactly the graph's edge multiset.
+    disjoint -- overwrites and deletions tombstone their base entries,
+    which the owning graph compacts away before handing out the next
+    snapshot -- so relaxing base rows plus tail slots visits exactly
+    the graph's edge multiset.
 
     Snapshots are immutable: the owning graph replaces (never mutates)
     its cached snapshot, so holding one across later graph mutations is
@@ -173,6 +186,7 @@ class Graph:
         "_edges_cache",
         "_base_csr",
         "_base_rows",
+        "_base_dead",
         "_snapshot",
         "_snapshot_rows",
         "_tail_work",
@@ -199,12 +213,15 @@ class Graph:
         # in-place perturbations must copy first (copy-on-write).
         self._log_shared = False
         self._edges_cache: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
-        # Two-layer CSR state: _base_csr covers log rows [0, _base_rows);
-        # rows beyond it form the tail of the current CsrSnapshot.
-        # Deletions/overwrites null the base; appends only stale the
-        # snapshot (the next csr_snapshot() rebuilds just the tail).
+        # Two-layer CSR state: _base_csr covers log rows [0, _base_rows)
+        # plus the directed entries listed in _base_dead (tombstones of
+        # deleted/overwritten base edges, swept by a lazy masked take at
+        # the next refresh); rows beyond _base_rows form the tail of the
+        # current CsrSnapshot.  Appends only stale the snapshot (the
+        # next csr_snapshot() rebuilds just the tail).
         self._base_csr = None
         self._base_rows = 0
+        self._base_dead: list[int] = []
         self._snapshot: CsrSnapshot | None = None
         self._snapshot_rows = -1
         # Tail-scan work accumulated since the last fold; shared with
@@ -260,24 +277,112 @@ class Graph:
         self._edges_cache = None
         self._revision += 1
 
+    def _mark_base_dead(self, a: int, b: int) -> None:
+        """Tombstone both directed base entries of edge ``(a, b)``.
+
+        The entries stay in the base structure until the next snapshot
+        refresh sweeps them with one masked take
+        (:meth:`_compact_base_dead`); the flat per-tombstone charge lets
+        sustained deletion churn escalate to a full fold adaptively.
+        """
+        indptr = self._base_csr.indptr
+        indices = self._base_csr.indices
+        for x, y in ((a, b), (b, a)):
+            lo = int(indptr[x])
+            hi = int(indptr[x + 1])
+            self._base_dead.append(lo + int(np.searchsorted(indices[lo:hi], y)))
+        self._tail_work[0] += 2 * _DEAD_WORK_CHARGE
+
+    def _compact_base_dead(self) -> None:
+        """Sweep tombstoned entries out of the base matrix.
+
+        One C-level masked take over ``(data, indices)`` plus a per-row
+        count adjustment for ``indptr`` -- no coordinate re-sort, no
+        Python loop.  Builds a *new* matrix so held snapshots stay
+        frozen.
+        """
+        from scipy.sparse import csr_matrix
+
+        base = self._base_csr
+        dead = np.asarray(self._base_dead, dtype=np.int64)
+        keep = np.ones(base.nnz, dtype=bool)
+        keep[dead] = False
+        row_len = np.diff(base.indptr).astype(np.int64)
+        dead_rows = np.searchsorted(base.indptr, dead, side="right") - 1
+        np.subtract.at(row_len, dead_rows, 1)
+        indptr = np.zeros(row_len.size + 1, dtype=base.indptr.dtype)
+        np.cumsum(row_len, out=indptr[1:])
+        self._base_csr = csr_matrix(
+            (base.data[keep], base.indices[keep], indptr), shape=base.shape
+        )
+        self._base_dead = []
+
     def _log_set_weight(self, row: int, w: float) -> None:
-        """Overwrite one row's weight in place (copy-on-write)."""
+        """Overwrite one row's weight in place (copy-on-write).
+
+        A base-resident row is first evicted to the tail: its base
+        entries are tombstoned and the row swaps with the last
+        base-covered row, so the new weight lands in the tail layer and
+        the base survives untouched until the lazy sweep.
+        """
         if self._log_shared:
             self._log_materialize()
-        self._log_w[row] = w
+        if self._base_csr is not None and row < self._base_rows:
+            a = int(self._log_u[row])
+            b = int(self._log_v[row])
+            self._mark_base_dead(a, b)
+            head = self._base_rows - 1
+            if row != head:
+                hu = int(self._log_u[head])
+                hv = int(self._log_v[head])
+                w_head = float(self._log_w[head])
+                self._log_u[row] = hu
+                self._log_v[row] = hv
+                self._log_w[row] = w_head
+                self._log_u[head] = a
+                self._log_v[head] = b
+                self._row_of[(hu, hv)] = row
+                self._row_of[(a, b)] = head
+            self._log_w[head] = w
+            self._base_rows = head
+        else:
+            self._log_w[row] = w
         self._edges_cache = None
-        self._base_csr = None
-        self._base_rows = 0
         self._snapshot = None
         self._revision += 1
 
     def _log_delete(self, a: int, b: int) -> None:
-        """Swap-delete one normalized edge row (copy-on-write)."""
+        """Swap-delete one normalized edge row (copy-on-write).
+
+        Tail rows swap with the last log row as before.  Base-covered
+        rows tombstone their base entries and close the base prefix
+        with a two-swap -- last base row into the vacated slot, last
+        log row into the freed base boundary -- so log rows ``[0, B)``
+        keep covering exactly the live base entries.
+        """
         row = self._row_of.pop((a, b))
         if self._log_shared:
             self._log_materialize()
         last = self._log_len - 1
-        if row != last:
+        if self._base_csr is not None and row < self._base_rows:
+            self._mark_base_dead(a, b)
+            head = self._base_rows - 1
+            if row != head:
+                hu = int(self._log_u[head])
+                hv = int(self._log_v[head])
+                self._log_u[row] = hu
+                self._log_v[row] = hv
+                self._log_w[row] = self._log_w[head]
+                self._row_of[(hu, hv)] = row
+            if head != last:
+                lu = int(self._log_u[last])
+                lv = int(self._log_v[last])
+                self._log_u[head] = lu
+                self._log_v[head] = lv
+                self._log_w[head] = self._log_w[last]
+                self._row_of[(lu, lv)] = head
+            self._base_rows = head
+        elif row != last:
             lu = int(self._log_u[last])
             lv = int(self._log_v[last])
             self._log_u[row] = lu
@@ -286,8 +391,6 @@ class Graph:
             self._row_of[(lu, lv)] = row
         self._log_len = last
         self._edges_cache = None
-        self._base_csr = None
-        self._base_rows = 0
         self._snapshot = None
         self._revision += 1
 
@@ -432,6 +535,40 @@ class Graph:
             self._log_set_weight(row, w)
         self._adj[u][v] = w
         self._adj[v][u] = w
+
+    def add_vertices(self, count: int = 1) -> range:
+        """Grow the vertex set by ``count`` fresh isolated vertices.
+
+        Returns the new vertex ids ``range(n, n + count)``.  The edge
+        log is untouched; a live base matrix is re-shaped in O(n) by
+        padding its ``indptr`` (the new rows are empty), so incremental
+        consumers -- the maintenance engine above all -- pay no rebuild
+        for joins.
+        """
+        if count < 0:
+            raise GraphError(f"count must be >= 0, got {count}")
+        start = len(self._adj)
+        if count == 0:
+            return range(start, start)
+        self._adj.extend({} for _ in range(count))
+        if self._base_csr is not None:
+            from scipy.sparse import csr_matrix
+
+            base = self._base_csr
+            indptr = np.concatenate(
+                [
+                    base.indptr,
+                    np.full(count, base.indptr[-1], dtype=base.indptr.dtype),
+                ]
+            )
+            self._base_csr = csr_matrix(
+                (base.data, base.indices, indptr),
+                shape=(start + count, start + count),
+            )
+        self._snapshot = None
+        self._snapshot_rows = -1
+        self._revision += 1
+        return range(start, start + count)
 
     def remove_edge(self, u: int, v: int) -> None:
         """Delete the edge ``{u, v}``; raises if absent."""
@@ -650,7 +787,10 @@ class Graph:
         :meth:`CsrSnapshot.matrix` merges) reaches about one rebuild
         (``_FOLD_WORK_FACTOR * m``), the next refresh compacts --
         folding exactly when it has become the cheaper alternative.
-        Deletions and weight overwrites invalidate the base outright.
+        Deletions and weight overwrites tombstone their base entries;
+        the refresh sweeps pending tombstones with one masked take
+        (O(nnz), no re-sort) before handing out the snapshot, with the
+        sweep billed to the same accumulator.
         Snapshots are immutable and cached until the next mutation.
         """
         m = self._log_len
@@ -664,7 +804,8 @@ class Graph:
         scans_exceed_rebuild = (
             self._tail_work[0] >= _FOLD_WORK_FACTOR * m
         )
-        if not base_ok or (tail_rows > 0 and scans_exceed_rebuild):
+        dirty = tail_rows > 0 or bool(self._base_dead)
+        if not base_ok or (dirty and scans_exceed_rebuild):
             # Compaction: fold everything into a fresh base.
             us, vs, ws = self.edges_arrays()
             self._base_csr = coo_matrix(
@@ -675,8 +816,11 @@ class Graph:
                 shape=(n, n),
             ).tocsr()
             self._base_rows = m
+            self._base_dead = []
             tail_rows = 0
             self._tail_work[0] = 0
+        elif self._base_dead:
+            self._compact_base_dead()
         if tail_rows == 0:
             empty_i = np.empty(0, dtype=np.int64)
             snapshot = CsrSnapshot(
@@ -709,6 +853,9 @@ class Graph:
         so a dense kernel would first pay the O(m) base + tail merge
         that the sparse, snapshot-native kernels skip.
         """
+        if self._base_dead:
+            # Pending tombstones: the next snapshot sweeps the base.
+            return True
         if self._snapshot is not None and self._snapshot_rows == self._log_len:
             return self._snapshot.merge_pending
         base_ok = self._base_csr is not None and self._base_rows <= self._log_len

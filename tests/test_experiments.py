@@ -48,7 +48,7 @@ class TestRegistry:
     def test_all_experiments_registered(self):
         assert set(EXPERIMENT_REGISTRY) == {
             "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10",
-            "E11", "F", "A", "X1",
+            "E11", "E12", "F", "A", "X1",
         }
 
     @pytest.mark.parametrize("name", sorted(EXPERIMENT_REGISTRY))

@@ -172,7 +172,7 @@ class TestIncrementalCsr:
             row = indices[indptr[u] : indptr[u + 1]].tolist()
             assert row == sorted(row)
 
-    def test_delete_falls_back_to_full_rebuild(self):
+    def test_delete_sweeps_tombstones_lazily(self):
         g = Graph(10)
         for i in range(1, 10):
             g.add_edge(0, i, float(i))
@@ -180,6 +180,74 @@ class TestIncrementalCsr:
         g.remove_edge(0, 3)
         assert g.csr()[0, 3] == 0.0
         assert g.csr().nnz == 2 * g.num_edges
+
+    def test_delete_keeps_base_alive(self):
+        # Deleting a base-resident edge must not cold-rebuild: the base
+        # survives with the entry tombstoned, and the next snapshot
+        # sweeps it with one masked take.
+        g = Graph(20)
+        for i in range(1, 20):
+            g.add_edge(0, i, float(i))
+        g.csr()
+        base_before = g._base_csr
+        g.remove_edge(0, 7)
+        assert g._base_csr is base_before  # no cold rebuild
+        assert g.csr_merge_pending()
+        mat = g.csr()
+        assert mat[0, 7] == 0.0 and mat.nnz == 2 * g.num_edges
+        assert not g._base_dead  # swept
+
+    def test_overwrite_evicts_base_row_to_tail(self):
+        # Large enough that one tombstone charge does not pay for a
+        # full fold (on tiny graphs the adaptive policy folds at once).
+        g = Graph(60)
+        for i in range(1, 60):
+            g.add_edge(0, i, float(i))
+        g.csr()
+        base_before = g._base_csr
+        g.add_edge(0, 2, 0.25)
+        assert g._base_csr is base_before
+        snap = g.csr_snapshot()
+        assert snap.has_tail  # the overwritten row now lives in the tail
+        assert g.csr()[0, 2] == 0.25
+        assert_snapshots_match(g)
+
+    def test_sustained_deletion_churn_escalates_to_full_fold(self):
+        g = Graph(30)
+        rng = np.random.default_rng(7)
+        while g.num_edges < 120:
+            a, b = int(rng.integers(30)), int(rng.integers(30))
+            if a != b:
+                g.add_edge(a, b, float(rng.uniform(0.1, 1.0)))
+        g.csr()
+        # Delete-heavy churn charges the fold accumulator; eventually a
+        # refresh folds everything into a fresh base (tombstones gone,
+        # base covering the whole log).
+        edges = list(g.edges())
+        rng.shuffle(edges)
+        for u, v, _ in edges[:100]:
+            g.remove_edge(u, v)
+            g.csr()
+        assert g._base_rows == g.num_edges
+        assert not g._base_dead
+        assert_snapshots_match(g)
+
+    def test_add_vertices_grows_live_base_in_place(self):
+        g = Graph(6)
+        g.add_edge(0, 1, 1.0)
+        g.add_edge(2, 3, 0.5)
+        g.csr()
+        new = g.add_vertices(3)
+        assert list(new) == [6, 7, 8]
+        assert g.num_vertices == 9
+        g.add_edge(7, 0, 0.75)
+        mat = g.csr()
+        assert mat.shape == (9, 9)
+        assert mat[7, 0] == 0.75 and mat[0, 7] == 0.75
+        assert_snapshots_match(g)
+        assert list(g.add_vertices(0)) == []
+        with pytest.raises(Exception):
+            g.add_vertices(-1)
 
     def test_cache_identity_stable_without_mutation(self):
         g = Graph(4)

@@ -1,0 +1,90 @@
+"""Mobility sampler determinism and churn-feed integration."""
+
+import numpy as np
+import pytest
+
+from repro.core import MaintenanceSession
+from repro.exceptions import GraphError
+from repro.experiments.workloads import (
+    MOBILITY_REGISTRY,
+    make_mobility,
+    mobility_names,
+)
+from repro.geometry.sampling import uniform_points
+
+
+def run_trajectory(name, seed, dim=2, steps=8, n=50, move_fraction=0.5):
+    coords = uniform_points(n, dim=dim, seed=7, expected_degree=8.0).coords
+    model = make_mobility(name, coords, seed=seed)
+    moves = []
+    for _ in range(steps):
+        moves.append(model.step(move_fraction))
+    return model, moves
+
+
+def flatten(moves):
+    return [
+        (step, node, tuple(pos.tolist()))
+        for step, batch in enumerate(moves)
+        for node, pos in batch
+    ]
+
+
+class TestRegistry:
+    def test_three_models_registered(self):
+        assert set(mobility_names()) >= {
+            "random_waypoint",
+            "convoy",
+            "flocking",
+        }
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(GraphError):
+            make_mobility("teleport", np.zeros((3, 2)))
+
+    def test_rows_render(self):
+        for spec in MOBILITY_REGISTRY.values():
+            row = spec.as_row()
+            assert row["name"] == spec.name and row["summary"]
+
+
+@pytest.mark.parametrize("name", ["random_waypoint", "convoy", "flocking"])
+class TestDeterminism:
+    def test_same_seed_same_trajectory(self, name):
+        a_model, a_moves = run_trajectory(name, seed=11)
+        b_model, b_moves = run_trajectory(name, seed=11)
+        assert flatten(a_moves) == flatten(b_moves)
+        assert np.array_equal(a_model.coords, b_model.coords)
+
+    def test_different_seed_differs(self, name):
+        _, a_moves = run_trajectory(name, seed=11)
+        _, b_moves = run_trajectory(name, seed=12)
+        assert flatten(a_moves) != flatten(b_moves)
+
+    def test_stays_in_bounding_box(self, name):
+        model, _ = run_trajectory(name, seed=3, steps=25)
+        assert (model.coords >= model._lo - 1e-12).all()
+        assert (model.coords <= model._hi + 1e-12).all()
+
+    def test_three_dimensional(self, name):
+        model, moves = run_trajectory(name, seed=4, dim=3)
+        assert model.dim == 3
+        assert all(len(pos) == 3 for _, _, pos in flatten(moves))
+
+    def test_move_fraction_limits_movers(self, name):
+        model, moves = run_trajectory(name, seed=5, move_fraction=0.2)
+        for batch in moves:
+            assert 1 <= len(batch) <= max(1, round(0.2 * model.n))
+
+
+def test_moves_feed_maintenance_session():
+    pts = uniform_points(60, dim=2, seed=2, expected_degree=8.0)
+    session = MaintenanceSession(pts, 0.5)
+    model = make_mobility("random_waypoint", pts.coords, seed=6, speed=0.15)
+    for _ in range(4):
+        for node, pos in model.step(0.1):
+            session.move(node, pos)
+    assert session.verify()["ok"]
+    assert np.allclose(
+        session._coords[session._alive], model.coords[session._alive]
+    )

@@ -17,12 +17,19 @@ is materialized in exactly the contexts of ``{owner(u)} | owner(N(u))``
 and nowhere else: mirrors exist precisely where the halo needs them.
 """
 
+from collections import deque
+
 import numpy as np
 import pytest
 
 from repro.distributed.dist_spanner import DistributedRelaxedGreedy
 from repro.distributed.engine import SynchronousNetwork
+from repro.distributed.protocols.aggregate import ConvergecastSum
 from repro.distributed.protocols.bfs import BFSTree
+from repro.distributed.protocols.coloring import (
+    TreeSixColoring,
+    cv_rounds_needed,
+)
 from repro.distributed.protocols.flooding import KHopGather
 from repro.distributed.protocols.leader import LeaderElection
 from repro.distributed.protocols.luby import LubyMIS
@@ -49,13 +56,37 @@ def shard_graph(shard_points):
     return build_udg(shard_points)
 
 
+def _bfs_forest(g):
+    parents, seen = {}, set()
+    for root in g.vertices():
+        if root in seen:
+            continue
+        seen.add(root)
+        parents[root] = root
+        queue = deque([root])
+        while queue:
+            u = queue.popleft()
+            for v in g.neighbors(u):
+                if v not in seen:
+                    seen.add(v)
+                    parents[v] = u
+                    queue.append(v)
+    return parents
+
+
 def _protocols(graph):
     facts = {u: {("tok", u)} for u in range(0, graph.num_vertices, 5)}
+    parents = _bfs_forest(graph)
+    values = {u: 0.5 * u - 3.0 for u in range(graph.num_vertices)}
     return [
         ("luby", lambda: LubyMIS(seed=11)),
         ("bfs", lambda: BFSTree(root=3)),
         ("leader", lambda: LeaderElection(rounds=6)),
         ("khop", lambda: KHopGather(facts, k=3)),
+        ("convergecast", lambda: ConvergecastSum(parents, values)),
+        ("coloring", lambda: TreeSixColoring(
+            parents, cv_rounds_needed(graph.num_vertices)
+        )),
     ]
 
 
@@ -100,6 +131,17 @@ class TestPartitionInvariance:
         net = SynchronousNetwork(shard_graph)
         with pytest.raises(ProtocolError):
             net.run(LubyMIS(seed=1), engine="scalar", shards=2)
+
+    def test_unshardable_fallback_warns(self, shard_graph):
+        # A custom combiner forces the scalar tier; requesting shards
+        # must still work (bit-identically) but announce the fallback.
+        net = SynchronousNetwork(shard_graph)
+        parents = _bfs_forest(shard_graph)
+        values = {u: u for u in range(shard_graph.num_vertices)}
+        make = lambda: ConvergecastSum(parents, values, combine=max)
+        with pytest.warns(RuntimeWarning, match="not shard-capable"):
+            sharded = net.run(make(), shards=2)
+        _assert_identical(net.run(make()), sharded)
 
     def test_disconnected_topology(self):
         pts = uniform_points(90, seed=23, side=9.0)  # sparse: many comps

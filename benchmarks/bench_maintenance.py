@@ -26,6 +26,10 @@ from repro.experiments.workloads import make_mobility
 from repro.geometry.sampling import uniform_points
 
 CHURN = 0.01  # fraction of nodes moving in the measured burst
+# The epoch-batching headline runs denser churn: amortization is the
+# point of batching, and it is strongest where per-event repair keeps
+# rescanning overlapping neighborhoods hundreds of times per epoch.
+EPOCH_CHURN = 0.03
 
 
 @pytest.mark.parametrize("n", [2000, 10000])
@@ -78,6 +82,77 @@ def test_repair_vs_rebuild(benchmark, bench_gate, n):
             "speedup": speedup,
             "resyncs": stats["resyncs"],
             "repaired_edges": stats["repaired_edges"],
+        },
+    )
+
+
+@pytest.mark.parametrize("n", [2000, 10000])
+def test_epoch_vs_event_repair(benchmark, bench_gate, n):
+    """ISSUE 10 headline: epoch-batched application vs the per-event
+    path on identical flocking epochs.  At n = 10^4 the coalesced
+    regions + persistent cover cache must land >= 3x lower amortized
+    ms/event."""
+    pts = uniform_points(n, dim=2, seed=4321, expected_degree=8.0)
+    model = make_mobility("flocking", pts.coords, seed=7, speed=0.2)
+    num_epochs = 3
+    epochs = [
+        model.step_events(EPOCH_CHURN, time=float(e))
+        for e in range(num_epochs)
+    ]
+    events = sum(len(ep) for ep in epochs)
+
+    per_event = MaintenanceSession(pts, 0.5)
+    t0 = time.perf_counter()
+    for epoch in epochs:
+        for ev in epoch:
+            per_event.apply(ev)
+    event_wall = time.perf_counter() - t0
+    assert per_event.verify()["ok"]
+
+    batched = MaintenanceSession(pts, 0.5)
+
+    def epoch_burst():
+        for epoch in epochs:
+            batched.apply_epoch(epoch)
+        return batched
+
+    benchmark.pedantic(epoch_burst, rounds=1, iterations=1)
+    epoch_wall = benchmark.stats.stats.mean
+    assert batched.verify()["ok"]
+
+    event_ms = 1e3 * event_wall / events
+    epoch_ms = 1e3 * epoch_wall / events
+    ratio = event_ms / epoch_ms if epoch_ms > 0 else float("inf")
+    stats = batched.stats()
+    print(
+        f"\nepoch batching n={n}: {events} events / {num_epochs} epochs, "
+        f"per-event {event_ms:.2f}ms/event vs epoch {epoch_ms:.2f}ms/event "
+        f"(x{ratio:.1f}, {int(stats['resyncs'])} resyncs, "
+        f"cover cache {int(stats['cover_cache_hits'])} hits / "
+        f"{int(stats['cover_cache_misses'])} misses)"
+    )
+    if n >= 10000:
+        # The ISSUE 10 headline: >= 3x lower amortized cost per event
+        # for epoch-batched application under flocking mobility.
+        assert ratio >= 3.0, (
+            f"epoch batching x{ratio:.2f} < x3 at n={n}"
+        )
+    bench_gate(
+        f"maintenance-epoch-n{n}",
+        metric="epoch_ms_per_event",
+        record={
+            "n": n,
+            "churn": EPOCH_CHURN,
+            "events": events,
+            "epochs": num_epochs,
+            "event_wall_s": event_wall,
+            "epoch_wall_s": epoch_wall,
+            "event_ms_per_event": event_ms,
+            "epoch_ms_per_event": epoch_ms,
+            "ratio": ratio,
+            "resyncs": stats["resyncs"],
+            "cover_cache_hits": stats["cover_cache_hits"],
+            "cover_cache_misses": stats["cover_cache_misses"],
         },
     )
 

@@ -40,6 +40,7 @@ __all__ = [
     "build_cluster_cover",
     "build_cluster_cover_reference",
     "cover_from_centers",
+    "invalidate_cover_rows",
 ]
 
 
@@ -138,6 +139,37 @@ class ClusterCover:
         self._cache[num_vertices] = (center_of, dist)
         return center_of, dist
 
+    @classmethod
+    def from_rows(
+        cls,
+        radius: float,
+        vertices: Sequence[int],
+        center_of: np.ndarray,
+        dist_to_center: np.ndarray,
+    ) -> "ClusterCover":
+        """Assemble a cover for ``vertices`` from dense row arrays.
+
+        The inverse of :meth:`index_arrays`, restricted to a region:
+        ``center_of[v]`` / ``dist_to_center[v]`` supply the assignment
+        for every requested vertex (rows may mix derivation epochs, as
+        the maintenance engine's persistent per-bin cover cache does).
+        Centers are listed in first-appearance order over ``vertices``;
+        a vertex with no row (``center_of[v] < 0``) raises.
+        """
+        idx = np.asarray(vertices, dtype=np.int64)
+        cs = center_of[idx]
+        missing = np.flatnonzero(cs < 0)
+        if missing.size:
+            raise GraphError(
+                f"vertex {int(idx[missing[0]])} has no cover row"
+            )
+        vlist = idx.tolist()
+        clist = cs.tolist()
+        assignment = dict(zip(vlist, clist))
+        center_distance = dict(zip(vlist, dist_to_center[idx].tolist()))
+        centers = list(dict.fromkeys(clist))
+        return _finalize(radius, centers, assignment, center_distance)
+
     def center_of(self, v: int) -> int:
         """Center of the cluster that vertex ``v`` belongs to."""
         try:
@@ -151,6 +183,26 @@ class ClusterCover:
             return self.center_distance[v]
         except KeyError:
             raise GraphError(f"vertex {v} is not covered") from None
+
+
+def invalidate_cover_rows(
+    center_of: np.ndarray,
+    dist_to_center: np.ndarray,
+    kill: np.ndarray,
+) -> int:
+    """Clear the killed rows of a dense cover index, in place.
+
+    The region-restricted invalidation hook behind the maintenance
+    engine's persistent cover cache: ``kill`` marks the vertices whose
+    cached assignment may no longer reflect the covered graph (their
+    radius-ball touches a changed edge), and their rows revert to the
+    unclaimed state (-1 / inf).  Returns how many live rows were
+    cleared.
+    """
+    hit = kill & (center_of >= 0)
+    center_of[hit] = -1
+    dist_to_center[hit] = np.inf
+    return int(hit.sum())
 
 
 def _finalize(

@@ -36,18 +36,45 @@ via *dirty-ball invalidation*:
 Repair modes: ``repair="local"`` (the default) runs the dirty-ball
 pipeline and is pinned by a tested stretch bound; ``repair="rebuild"``
 re-derives the spanner from the incrementally-maintained base graph
-after every event and is pinned *bit-equal* to a from-scratch build on
-the current point set (the base patching reproduces the batch
-builders' distances and gray-zone policy draws exactly: distances use
-the same einsum/sqrt kernel and policy draws hash the same global
-vertex ids).  ``resync()`` is the escape hatch: rebuild everything
-from the coordinates.  When an event dirties more than
-``resync_fraction`` of the alive nodes, the local path escalates to a
-spanner rebuild on its own.
+after every event (or once per epoch) and is pinned *bit-equal* to a
+from-scratch build on the current point set (the base patching
+reproduces the batch builders' distances and gray-zone policy draws
+exactly: distances use the same einsum/sqrt kernel and policy draws
+hash the same global vertex ids).  ``resync()`` is the escape hatch:
+rebuild everything from the coordinates.  When an event (or merged
+epoch region) dirties more than ``resync_fraction`` of the alive
+nodes, the local path escalates to a spanner rebuild on its own.
+
+**Epoch batching.**  A mobility step moves hundreds of nearby nodes
+whose dirty balls overlap almost completely; repairing each event in
+isolation re-derives the same region's cover over and over.
+:meth:`MaintenanceSession.apply_epoch` applies one epoch of events
+together: every mutation lands on the base graph first, the per-event
+balls coalesce into merged dirty *regions* (connected components of
+the ball-overlap graph), promotion and redundancy run once per region
+-- deduplicating every overlapping ball's candidates, covers and
+verdicts -- and one certification sweep closes the epoch over the
+union of the region halos.  A single-event epoch takes exactly the
+per-event path (``apply`` *is* ``apply_epoch`` of one event), so the
+two pins extend rather than fork.
+
+**Persistent cover state.**  Repairs stop discarding cover structure
+between events: the session caches the per-bin dense cover rows
+(``center_of`` / ``dist_to_center``, the arrays
+:meth:`repro.core.cover.ClusterCover.index_arrays` exposes) and
+invalidates only rows whose radius-ball can touch a changed spanner
+edge (every spanner mutation records its endpoint positions; a cached
+row ``v -> (c, d)`` can only be wrong if a changed edge lies within
+Euclidean ``radius`` of ``v``, because spanner weights dominate
+straight-line distance).  Surviving rows are served as-is -- they are
+*exact* current shortest-path distances, which
+:meth:`MaintenanceSession.cover_cache_audit` re-derives and checks
+bit-for-bit.
 
 :func:`events_from_fault_plan` adapts :class:`repro.distributed.faults.
-FaultPlan` crash/recover schedules onto delete/insert event streams, so
-fault adversaries and mobility models share one schema.
+FaultPlan` crash/recover schedules onto delete/insert event streams
+(optionally pre-grouped into same-timestamp epochs), so fault
+adversaries and mobility models share one schema.
 """
 
 from __future__ import annotations
@@ -64,10 +91,14 @@ from ..exceptions import GraphError, ParameterError
 from ..geometry import GridIndex, PointSet
 from ..graphs.build import KeepAllPolicy
 from ..graphs.graph import Graph
-from ..graphs.paths import dijkstra_distance, pair_distances
+from ..graphs.paths import detour_distance, dijkstra_distance, pair_distances
 from ..params import SpannerParams
 from .bins import EdgeBinning
-from .cover import build_cluster_cover
+from .cover import (
+    ClusterCover,
+    build_cluster_cover_reference,
+    invalidate_cover_rows,
+)
 from .relaxed_greedy import RelaxedGreedySpanner, SpannerResult
 from .selection import select_query_edges
 
@@ -82,6 +113,13 @@ __all__ = [
     "events_from_fault_plan",
 ]
 
+# Candidate-count floor below which a bin's repair skips the cluster
+# cover and queries every candidate edge directly: the cover's query
+# economy (one query per cluster pair) cannot save more than the k
+# queries a k-edge bin has, so deriving it only pays past this size
+# (measured crossover on flocking churn at n = 10^4).
+_COVER_MIN_EDGES = 64
+
 
 @dataclass(frozen=True)
 class MaintenanceEvent:
@@ -90,8 +128,10 @@ class MaintenanceEvent:
     ``kind`` is ``"insert"`` (``node=None`` allocates a fresh id;
     ``node=<dead id>`` revives it, reusing its stored position unless
     ``pos`` overrides), ``"delete"`` or ``"move"``.  ``time`` orders
-    streams (the fault-plan adapter fills it from crash schedules) and
-    is carried into the repair report.
+    streams (the fault-plan adapter fills it from crash schedules,
+    mobility samplers from the epoch counter) and is carried into the
+    repair report; ``apply_stream(batch="epoch")`` coalesces runs of
+    equal ``time`` into one epoch.
     """
 
     kind: str
@@ -102,7 +142,15 @@ class MaintenanceEvent:
 
 @dataclass
 class RepairReport:
-    """Per-event repair accounting."""
+    """Per-event repair accounting.
+
+    Within an epoch, region-level numbers (dirty ball size, repaired
+    edges, phase walls) land on the region's *lead* report -- the first
+    event of each merged region -- and the remaining events of the
+    region are marked ``coalesced``.  ``wall_s`` is always the
+    amortized per-event share of the epoch wall, so summed stats stay
+    comparable across batch modes.
+    """
 
     kind: str
     node: int
@@ -119,14 +167,24 @@ class RepairReport:
     repaired_edges: int = 0
     #: Whether the event escalated to a full spanner rebuild.
     resync: bool = False
+    #: True when this event's repair was folded into another event's
+    #: merged region (its accounting lives on the region lead).
+    coalesced: bool = False
     wall_s: float = 0.0
+    #: Per-phase wall splits of the region this event led.
+    cover_s: float = 0.0
+    promotion_s: float = 0.0
+    redundancy_s: float = 0.0
+    certification_s: float = 0.0
 
 
 def events_from_fault_plan(
     plan: "FaultPlan",
     nodes: Iterable[int],
     horizon: float,
-) -> tuple[MaintenanceEvent, ...]:
+    *,
+    epoch_by_time: bool = False,
+) -> tuple:
     """Map a :class:`FaultPlan`'s crash/recover schedules to events.
 
     Every node whose counter-hashed crash time lands within
@@ -136,6 +194,11 @@ def events_from_fault_plan(
     ``(time, kind, node)`` with deletes before inserts at equal times,
     and is a pure function of the plan's seed -- the same determinism
     contract as every other draw in the fault tier.
+
+    With ``epoch_by_time=True`` the same stream is returned pre-grouped
+    into same-timestamp epochs (a tuple of event tuples) ready for
+    :meth:`MaintenanceSession.apply_epoch`; flattening the groups
+    recovers the plain stream exactly.
     """
     node_arr = np.asarray(list(nodes), dtype=np.int64)
     crash_at, recover_at = plan.crash_schedules(node_arr)
@@ -149,7 +212,12 @@ def events_from_fault_plan(
         if math.isfinite(ra) and ra <= horizon:
             events.append(MaintenanceEvent("insert", node=node, time=ra))
     events.sort(key=lambda e: (e.time, 0 if e.kind == "delete" else 1, e.node))
-    return tuple(events)
+    if not epoch_by_time:
+        return tuple(events)
+    return tuple(
+        tuple(group)
+        for _, group in itertools.groupby(events, key=lambda e: e.time)
+    )
 
 
 class MaintenanceSession:
@@ -172,13 +240,20 @@ class MaintenanceSession:
         incremental patching reproduces batch-rebuild draws exactly.
     repair:
         ``"local"`` (dirty-ball pipeline, bounded-stretch pin) or
-        ``"rebuild"`` (spanner re-derived per event, bit-equal pin).
+        ``"rebuild"`` (spanner re-derived per event/epoch, bit-equal
+        pin).
     dirty_radius:
         Euclidean invalidation radius around event sites; default
         ``t + 1``.
     resync_fraction:
-        Local repair escalates to a spanner rebuild when an event
-        dirties more than this fraction of the alive nodes.
+        Local repair escalates to a spanner rebuild when a single
+        event's dirty ball exceeds this fraction of the alive nodes.
+        The check is per event even under epoch batching: coalescing
+        events into one processing region never escalates an epoch
+        that none of its events would have escalated alone.
+    cover_cache:
+        Keep per-bin cover rows alive between events (default).  Off,
+        every repair re-derives its covers from scratch, as PR 9 did.
     """
 
     def __init__(
@@ -191,6 +266,7 @@ class MaintenanceSession:
         repair: str = "local",
         dirty_radius: float | None = None,
         resync_fraction: float = 0.25,
+        cover_cache: bool = True,
     ) -> None:
         coords = np.asarray(
             points.coords if isinstance(points, PointSet) else points,
@@ -223,6 +299,17 @@ class MaintenanceSession:
             self._cell_add(idx)
         self._routing: "RoutingTable | None" = None
         self.reports: list[RepairReport] = []
+        # Persistent cover state: bin -> (radius, center_of, dist rows)
+        # over the capacity id space, plus the pending positions of
+        # changed spanner-edge endpoints awaiting invalidation.
+        self._cover_cache_on = bool(cover_cache)
+        self._cover_bins: dict[
+            int, tuple[float, np.ndarray, np.ndarray]
+        ] = {}
+        self._cover_pending: list[np.ndarray] = []
+        self._cover_hits = 0
+        self._cover_misses = 0
+        self._epochs = 0
         self.graph = self._build_base()
         self.build_result: SpannerResult = self._build_result()
         self.spanner = self.build_result.spanner
@@ -259,17 +346,31 @@ class MaintenanceSession:
         return self._routing
 
     def stats(self) -> dict[str, float]:
-        """Aggregate repair accounting across all applied events."""
+        """Aggregate repair accounting across all applied events.
+
+        Per-phase wall splits (cover / promotion / redundancy /
+        certification) come straight from the reports, so optimization
+        rounds profile from here instead of ad-hoc timers; the cover
+        cache's hit/miss counters ride along.
+        """
         n = len(self.reports)
+        wall = sum(r.wall_s for r in self.reports)
         return {
             "events": n,
+            "epochs": self._epochs,
             "dirty_balls": sum(r.dirty_balls for r in self.reports),
             "repaired_edges": sum(r.repaired_edges for r in self.reports),
             "resyncs": sum(1 for r in self.reports if r.resync),
-            "wall_s": sum(r.wall_s for r in self.reports),
-            "mean_wall_s": (
-                sum(r.wall_s for r in self.reports) / n if n else 0.0
+            "wall_s": wall,
+            "mean_wall_s": wall / n if n else 0.0,
+            "cover_s": sum(r.cover_s for r in self.reports),
+            "promotion_s": sum(r.promotion_s for r in self.reports),
+            "redundancy_s": sum(r.redundancy_s for r in self.reports),
+            "certification_s": sum(
+                r.certification_s for r in self.reports
             ),
+            "cover_cache_hits": self._cover_hits,
+            "cover_cache_misses": self._cover_misses,
         }
 
     # ------------------------------------------------------------------
@@ -296,34 +397,85 @@ class MaintenanceSession:
         return self.apply(MaintenanceEvent("move", node, _tup(new_pos), time))
 
     def apply(self, event: MaintenanceEvent) -> RepairReport:
-        """Apply one event and repair; returns the repair report."""
+        """Apply one event and repair; returns the repair report.
+
+        The per-event path *is* a one-event epoch, which is what keeps
+        the single-event bit-equality pin structural rather than
+        maintained by hand.
+        """
+        return self.apply_epoch((event,))[0]
+
+    def apply_epoch(
+        self, events: Iterable[MaintenanceEvent]
+    ) -> list[RepairReport]:
+        """Apply one epoch of events with coalesced repair.
+
+        All mutations land on the base graph first; the per-event
+        dirty balls merge into regions (connected components of the
+        ball-overlap graph) and the repair pipeline runs once per
+        region, with one certification sweep over the union of halos
+        closing the epoch.  ``repair="rebuild"`` epochs re-derive the
+        spanner once (still bit-equal to a scratch rebuild).  Returns
+        one report per event; an empty epoch is a no-op.
+        """
+        events = list(events)
+        if not events:
+            return []
+        for event in events:
+            if event.kind not in ("insert", "delete", "move"):
+                raise ParameterError(f"unknown event kind {event.kind!r}")
         t0 = perf_counter()
-        kind = event.kind
-        if kind == "insert":
-            node, sites = self._do_insert(event.node, event.pos)
-        elif kind == "delete":
-            node, sites = self._do_delete(event.node)
-        elif kind == "move":
-            node, sites = self._do_move(event.node, event.pos)
-        else:
-            raise ParameterError(f"unknown event kind {kind!r}")
-        report = RepairReport(kind=kind, node=node, time=event.time)
+        reports: list[RepairReport] = []
+        sites_list: list[list[np.ndarray]] = []
+        for event in events:
+            if event.kind == "insert":
+                node, sites = self._do_insert(event.node, event.pos)
+            elif event.kind == "delete":
+                node, sites = self._do_delete(event.node)
+            else:
+                node, sites = self._do_move(event.node, event.pos)
+            reports.append(
+                RepairReport(kind=event.kind, node=node, time=event.time)
+            )
+            sites_list.append(sites)
         self._routing = None
         if self.repair_mode == "rebuild":
             self._rebuild_spanner()
-            report.resync = True
+            reports[-1].resync = True
+            for report in reports[:-1]:
+                report.coalesced = True
         else:
-            self._repair_local(sites, report)
-        report.repaired_edges = report.added_edges + report.removed_edges
-        report.wall_s = perf_counter() - t0
-        self.reports.append(report)
-        return report
+            self._repair_epoch(reports, sites_list)
+        share = (perf_counter() - t0) / len(reports)
+        for report in reports:
+            report.repaired_edges = report.added_edges + report.removed_edges
+            report.wall_s = share
+        self.reports.extend(reports)
+        self._epochs += 1
+        return reports
 
     def apply_stream(
-        self, events: Iterable[MaintenanceEvent]
+        self,
+        events: Iterable[MaintenanceEvent],
+        *,
+        batch: str | None = None,
     ) -> list[RepairReport]:
-        """Apply a sequence of events in order."""
-        return [self.apply(event) for event in events]
+        """Apply a sequence of events in order.
+
+        ``batch=None`` (or ``"event"``) repairs after every event;
+        ``batch="epoch"`` groups runs of equal ``event.time`` into
+        epochs and applies each via :meth:`apply_epoch`.
+        """
+        if batch not in (None, "event", "epoch"):
+            raise ParameterError(
+                f"batch must be None, 'event' or 'epoch', got {batch!r}"
+            )
+        if batch != "epoch":
+            return [self.apply(event) for event in events]
+        reports: list[RepairReport] = []
+        for _, group in itertools.groupby(events, key=lambda e: e.time):
+            reports.extend(self.apply_epoch(list(group)))
+        return reports
 
     def resync(self) -> SpannerResult:
         """Escape hatch: rebuild base graph and spanner from scratch."""
@@ -360,6 +512,28 @@ class MaintenanceSession:
             "stretch": stretch,
             "edges": int(us.size),
         }
+
+    def cover_cache_audit(self) -> list[tuple[int, int, int, float, float]]:
+        """Re-derive every live cached cover row and report mismatches.
+
+        For each cached row ``v -> (c, d)`` of each bin, the exact
+        spanner distance ``sp(c, v)`` is recomputed cold; any row where
+        the cached float is not **bit-equal** to the re-derivation (or
+        exceeds the bin radius) comes back as
+        ``(bin, v, c, cached, exact)``.  An empty list is the cache's
+        correctness certificate: conservative invalidation never serves
+        a stale row.
+        """
+        self._flush_cover_invalidation()
+        bad: list[tuple[int, int, int, float, float]] = []
+        for bin_idx, (radius, crow, drow) in self._cover_bins.items():
+            for v in np.flatnonzero(crow >= 0).tolist():
+                c = int(crow[v])
+                d = float(drow[v])
+                exact = dijkstra_distance(self.spanner, c, v, cutoff=radius)
+                if exact != d or d > radius:
+                    bad.append((bin_idx, v, c, d, exact))
+        return bad
 
     # ------------------------------------------------------------------
     # Base-graph patching (incremental alpha-UBG)
@@ -448,6 +622,10 @@ class MaintenanceSession:
             self._alive = np.append(self._alive, False)
             self.graph.add_vertices(1)
             self.spanner.add_vertices(1)
+            # Capacity growth re-bins every length and resizes the row
+            # arrays; start the cover cache over.
+            self._cover_bins.clear()
+            self._cover_pending.clear()
         else:
             if not 0 <= node < self.capacity:
                 raise GraphError(f"node {node} out of range")
@@ -470,6 +648,11 @@ class MaintenanceSession:
         if not (0 <= node < self.capacity and self._alive[node]):
             raise GraphError(f"node {node} is not alive")
         site = self._coords[node].copy()
+        if self._cover_cache_on:
+            self._kill_node_rows(node)
+            self._cover_pending.append(site)
+            for v in self.spanner.neighbors(node):
+                self._cover_pending.append(self._coords[v].copy())
         for v in list(self.spanner.neighbors(node)):
             self.spanner.remove_edge(node, v)
         for v in list(self.graph.neighbors(node)):
@@ -486,11 +669,23 @@ class MaintenanceSession:
         if pos is None or len(pos) != self._dim:
             raise GraphError(f"move needs a dim-{self._dim} position")
         old = self._coords[node].copy()
+        if self._cover_cache_on:
+            # Every spanner edge at the node changes weight or dies;
+            # kill its own rows outright (the flush gathers from the
+            # grid at *current* positions, which no longer see the old
+            # site), then record the derivation-time geometry (old
+            # position) plus the still-current neighbor positions.
+            self._kill_node_rows(node)
+            self._cover_pending.append(old.copy())
+            for v in self.spanner.neighbors(node):
+                self._cover_pending.append(self._coords[v].copy())
         self._cell_remove(node)
         self._coords = self._coords.copy()
         self._coords[node] = pos
         self._pts_cache = None
         new_pos = self._coords[node]
+        if self._cover_cache_on:
+            self._cover_pending.append(new_pos.copy())
         cand, dist = self._near_alive(new_pos, exclude=node)
         nbrs, ws = self._decide_edges(node, cand, dist)
         new_edges = dict(zip(nbrs.tolist(), ws.tolist()))
@@ -545,6 +740,9 @@ class MaintenanceSession:
     def _rebuild_spanner(self) -> None:
         self.build_result = self._build_result()
         self.spanner = self.build_result.spanner
+        # A rebuild rewrites the covered graph wholesale.
+        self._cover_bins.clear()
+        self._cover_pending.clear()
 
     def _site_distances(self, sites: list[np.ndarray]) -> np.ndarray:
         alive_idx = np.flatnonzero(self._alive)
@@ -557,38 +755,151 @@ class MaintenanceSession:
             )
         return best
 
-    def _repair_local(
-        self, sites: list[np.ndarray], report: RepairReport
+    # -- epoch orchestration -------------------------------------------
+    def _coalesce(
+        self, sites_list: list[list[np.ndarray]]
+    ) -> list[list[int]]:
+        """Merge events whose dirty balls overlap into regions.
+
+        Two radius-``dirty_radius`` balls intersect iff their sites are
+        within ``2 * dirty_radius``; the regions are the connected
+        components of that overlap graph, each a list of event indices
+        ordered as applied.
+        """
+        k = len(sites_list)
+        if k == 1:
+            return [[0]]
+        pts = np.vstack([s for sites in sites_list for s in sites])
+        owner = np.repeat(
+            np.arange(k, dtype=np.int64),
+            [len(sites) for sites in sites_list],
+        )
+        parent = list(range(k))
+
+        def find(a: int) -> int:
+            while parent[a] != a:
+                parent[a] = parent[parent[a]]
+                a = parent[a]
+            return a
+
+        thresh_sq = (2.0 * self.dirty_radius) ** 2
+        diff = pts[:, None, :] - pts[None, :, :]
+        close = np.einsum("ijk,ijk->ij", diff, diff) <= thresh_sq
+        iu, iv = np.nonzero(close)
+        for a, b in zip(owner[iu].tolist(), owner[iv].tolist()):
+            ra, rb = find(a), find(b)
+            if ra != rb:
+                parent[max(ra, rb)] = min(ra, rb)
+        groups: dict[int, list[int]] = {}
+        for idx in range(k):
+            groups.setdefault(find(idx), []).append(idx)
+        return [groups[root] for root in sorted(groups)]
+
+    def _repair_epoch(
+        self,
+        reports: list[RepairReport],
+        sites_list: list[list[np.ndarray]],
     ) -> None:
-        t = self.params.t
-        t1 = self.params.t1
         alive_idx = np.flatnonzero(self._alive)
         if alive_idx.size == 0:
             return
-        d_site = self._site_distances(sites)
-        dirty = alive_idx[d_site <= self.dirty_radius]
-        halo = alive_idx[d_site <= self.dirty_radius + t]
-        report.dirty_nodes = int(dirty.size)
-        if dirty.size > self.resync_fraction * alive_idx.size:
-            self._rebuild_spanner()
-            report.resync = True
-            return
-        dirty_set = set(dirty.tolist())
-        halo_list = halo.tolist()
+        groups = self._coalesce(sites_list)
+        epoch_lead = reports[groups[0][0]]
+        n = self.graph.num_vertices
+        dirty_mask = np.zeros(n, dtype=bool)
+        halo_mask = np.zeros(n, dtype=bool)
+        halo_radius = self.dirty_radius + self.params.t
+        for gi, group in enumerate(groups):
+            lead = reports[group[0]]
+            for idx in group[1:]:
+                reports[idx].coalesced = True
+            sites = [s for idx in group for s in sites_list[idx]]
+            d_site = self._site_distances(sites)
+            dirty = alive_idx[d_site <= self.dirty_radius]
+            lead.dirty_nodes = int(dirty.size)
+            # The resync escalation is keyed to *per-event* dirty
+            # balls, exactly like the per-event path: coalescing k
+            # overlapping events must never escalate an epoch that
+            # none of the k events would have escalated on its own
+            # (merged-component checks were measured to force rebuilds
+            # 6x slower than the local repair they preempted).  For a
+            # singleton group the component ball *is* the event ball,
+            # so the already-computed distances answer it.
+            if len(group) == 1:
+                oversized = (
+                    dirty.size > self.resync_fraction * alive_idx.size
+                )
+            else:
+                limit = self.resync_fraction * alive_idx.size
+                oversized = any(
+                    alive_idx[
+                        self._site_distances(sites_list[idx])
+                        <= self.dirty_radius
+                    ].size
+                    > limit
+                    for idx in group
+                )
+            if oversized:
+                self._rebuild_spanner()
+                lead.resync = True
+                for later in groups[gi + 1:]:
+                    for idx in later:
+                        reports[idx].coalesced = True
+                return
+            dirty_mask[dirty] = True
+            halo_mask[alive_idx[d_site <= halo_radius]] = True
+        # One repair pass over the union of all component balls.  For
+        # disjoint components this is verdict-for-verdict identical to
+        # repairing them one at a time (candidates, cluster pairs and
+        # detour balls are all cutoff-local, so components cannot
+        # interact), but every per-region fixed cost -- the cover
+        # flush, the edge-store scans, the bin loop -- is paid once
+        # per epoch instead of once per component.
+        self._repair_region(np.flatnonzero(dirty_mask), epoch_lead)
+        self._certify(np.flatnonzero(halo_mask), epoch_lead)
+
+    def _span_add(
+        self, x: int, y: int, length: float, report: RepairReport
+    ) -> None:
+        self.spanner.add_edge(x, y, length)
+        report.added_edges += 1
+        if self._cover_cache_on:
+            self._cover_pending.append(self._coords[x].copy())
+            self._cover_pending.append(self._coords[y].copy())
+
+    def _span_dropped(self, x: int, y: int, report: RepairReport) -> None:
+        """Account a redundancy removal (edge already off the spanner)."""
+        report.removed_edges += 1
+        if self._cover_cache_on:
+            self._cover_pending.append(self._coords[x].copy())
+            self._cover_pending.append(self._coords[y].copy())
+
+    def _repair_region(
+        self, dirty: np.ndarray, report: RepairReport
+    ) -> None:
+        """Phases (i)-(v) on one merged dirty region.
+
+        A multi-event region runs the *same* sequential pipeline as a
+        single-event ball, just over the merged dirty set -- the
+        epoch's saving is deduplication (each overlapping ball's
+        candidates, covers and verdicts are examined once per region
+        instead of once per event), not a different algorithm, so the
+        single-event pin is the k=1 case rather than a separate path.
+        Batched max-cutoff sweeps were measured slower here: per-edge
+        Dijkstra cutoffs are what keep the answered balls tiny.
+        """
+        t = self.params.t
+        t1 = self.params.t1
+        tf = perf_counter()
+        self._flush_cover_invalidation()
+        report.cover_s += perf_counter() - tf
 
         # Phase (i)-(iv) on the dirty subgraph: per-bin cover
         # re-promotion, equation-(1) query selection, and step-iv
         # re-answering with exact spanner distances.
-        candidates: list[tuple[int, int, float]] = []
-        seen: set[tuple[int, int]] = set()
-        for u in dirty.tolist():
-            for v, w in self.graph.neighbor_items(u):
-                a, b = (u, v) if u < v else (v, u)
-                if (a, b) in seen:
-                    continue
-                seen.add((a, b))
-                if not self.spanner.has_edge(a, b):
-                    candidates.append((a, b, w))
+        tp0 = perf_counter()
+        cover_before = report.cover_s
+        candidates = self._touching_edges(self.graph, dirty, spanner_gap=True)
         if candidates:
             binning = EdgeBinning.for_params(
                 self.params, self.graph.num_vertices
@@ -596,9 +907,13 @@ class MaintenanceSession:
             by_bin = binning.assign(candidates)
             for i in sorted(by_bin):
                 bin_edges = by_bin[i]
-                if i == 0:
-                    # Short-edge bin: lengths <= alpha/n, no cover
-                    # structure needed -- greedy query per edge.
+                if i == 0 or len(bin_edges) <= _COVER_MIN_EDGES:
+                    # Short-edge bin (lengths <= alpha/n) or a bin too
+                    # thin for the cover to pay: the cover's only job
+                    # in repair is merging same-cluster-pair queries,
+                    # and with this few candidates the derivation costs
+                    # more than the <= k queries it could save -- query
+                    # each edge directly, greedy in length order.
                     for x, y, length in sorted(
                         bin_edges, key=lambda e: (e[2], e[0], e[1])
                     ):
@@ -606,8 +921,7 @@ class MaintenanceSession:
                             self.spanner, x, y, cutoff=t * length
                         )
                         if d > t * length:
-                            self.spanner.add_edge(x, y, length)
-                            report.added_edges += 1
+                            self._span_add(x, y, length, report)
                     continue
                 radius = self.params.delta * binning.boundary(i - 1)
                 # The selection only needs candidate *endpoints*
@@ -617,13 +931,7 @@ class MaintenanceSession:
                     {x for x, _, _ in bin_edges}
                     | {y for _, y, _ in bin_edges}
                 )
-                # Scalar kernel: the batched one allocates O(n) dense
-                # state per call, which would make this O(n x bins).
-                cover = build_cluster_cover(
-                    self.spanner, radius, vertices=endpoints,
-                    kernel="scalar",
-                )
-                report.dirty_balls += cover.num_clusters
+                cover = self._bin_cover(i, radius, endpoints, report)
                 # delta < 1/2 makes same-cluster candidates impossible
                 # for this bin (sp >= |xy| > W_{i-1} > 2*radius); the
                 # filter is a cheap guard for degenerate parameters.
@@ -636,62 +944,242 @@ class MaintenanceSession:
                     continue
                 selection = select_query_edges(bin_edges, cover, t)
                 # Step-iv re-answering: scalar cutoff-Dijkstra per
-                # query (a handful per bin; the batched pair kernel's
-                # per-call setup would dominate at this granularity).
+                # query, each answer visible to the next.  The scalar
+                # search is target-directed -- it stops the moment the
+                # partner vertex settles, typically after exploring a
+                # ball of radius ~sp(x, y) rather than the full cutoff
+                # -- so batched multi-source sweeps, which must flood
+                # every source's whole cutoff ball, were measured 2-5x
+                # slower here despite their C-level inner loop.
                 for x, y, length in selection.edges():
                     d = dijkstra_distance(
                         self.spanner, x, y, cutoff=t * length
                     )
                     if d > t * length:
-                        self.spanner.add_edge(x, y, length)
-                        report.added_edges += 1
+                        self._span_add(x, y, length, report)
+        report.promotion_s += (perf_counter() - tp0) - (
+            report.cover_s - cover_before
+        )
 
         # Phase (v): redundancy re-verdicts for spanner edges touching
         # the dirty ball -- remove iff a t1-alternative survives.
-        prune: list[tuple[float, int, int]] = []
-        for u in dirty.tolist():
-            for v, w in self.spanner.neighbor_items(u):
-                a, b = (u, v) if u < v else (v, u)
-                if a in dirty_set and a != u:
-                    continue  # counted from its smaller dirty endpoint
-                prune.append((w, a, b))
-        prune.sort(reverse=True)
+        tr0 = perf_counter()
+        prune = sorted(
+            (
+                (w, a, b)
+                for a, b, w in self._touching_edges(self.spanner, dirty)
+            ),
+            reverse=True,
+        )
         for w, a, b in prune:
             if not self.spanner.has_edge(a, b):
                 continue
-            self.spanner.remove_edge(a, b)
-            d = dijkstra_distance(self.spanner, a, b, cutoff=t1 * w)
+            # detour_distance answers "would a t1-alternative survive
+            # the removal?" without mutating the spanner: survivors --
+            # the overwhelming majority -- cost zero log churn instead
+            # of a remove/re-add pair (and the snapshot tombstone sweep
+            # every later batched kernel would pay for it).
+            d = detour_distance(self.spanner, a, b, cutoff=t1 * w)
             if d <= t1 * w:
-                report.removed_edges += 1
-            else:
-                self.spanner.add_edge(a, b, w)
+                self.spanner.remove_edge(a, b)
+                self._span_dropped(a, b, report)
+        report.redundancy_s += perf_counter() - tr0
 
-        # Certification sweep: re-certify every base edge whose
-        # t-certificate could have crossed the dirty ball; re-add the
-        # violated ones directly.  This is the correctness backstop
-        # that keeps the t-spanner invariant unconditional.
-        halo_set = set(halo_list)
-        cu: list[int] = []
-        cv: list[int] = []
-        cw: list[float] = []
-        for u in halo_list:
-            for v, w in self.graph.neighbor_items(u):
-                if u < v or v not in halo_set:
-                    if not self.spanner.has_edge(u, v):
-                        cu.append(u)
-                        cv.append(v)
-                        cw.append(w)
-        if cu:
-            us = np.asarray(cu, dtype=np.int64)
-            vs = np.asarray(cv, dtype=np.int64)
-            ws = np.asarray(cw)
+    def _certify(self, halo: np.ndarray, report: RepairReport) -> None:
+        """Certification sweep: re-certify every base edge whose
+        t-certificate could have crossed a dirty ball this epoch;
+        re-add the violated ones directly.  This is the correctness
+        backstop that keeps the t-spanner invariant unconditional."""
+        tc0 = perf_counter()
+        t = self.params.t
+        suspects = self._touching_edges(self.graph, halo, spanner_gap=True)
+        if suspects:
+            us = np.asarray([e[0] for e in suspects], dtype=np.int64)
+            vs = np.asarray([e[1] for e in suspects], dtype=np.int64)
+            ws = np.asarray([e[2] for e in suspects])
             sp = pair_distances(self.spanner, us, vs, cutoff=t)
             viol = sp > t * ws
             for x, y, length in zip(
                 us[viol].tolist(), vs[viol].tolist(), ws[viol].tolist()
             ):
-                self.spanner.add_edge(x, y, length)
-                report.added_edges += 1
+                self._span_add(x, y, length, report)
+        report.certification_s += perf_counter() - tc0
+
+    def _touching_edges(
+        self, graph: Graph, region: np.ndarray, *, spanner_gap: bool = False
+    ) -> list[tuple[int, int, float]]:
+        """Edges of ``graph`` with an endpoint in ``region``, each once
+        as ``(u, v, w)`` with ``u < v``, in the edge store's
+        deterministic order.  With ``spanner_gap`` only edges absent
+        from the maintained spanner survive (the promotion /
+        certification candidate filter): a per-pair adjacency probe on
+        the already-masked selection -- an encoded-key ``np.isin`` was
+        measured slower because it re-sorts all the spanner's edge keys
+        on every call, while the selection it filters is tiny."""
+        us, vs, ws = graph.edges_arrays()
+        if us.size == 0 or region.size == 0:
+            return []
+        mask = np.zeros(graph.num_vertices, dtype=bool)
+        mask[region] = True
+        sel = mask[us] | mask[vs]
+        if not sel.any():
+            return []
+        pairs = list(
+            zip(us[sel].tolist(), vs[sel].tolist(), ws[sel].tolist())
+        )
+        if spanner_gap:
+            has = self.spanner.has_edge
+            pairs = [(a, b, w) for a, b, w in pairs if not has(a, b)]
+        return pairs
+
+    # -- persistent cover state ----------------------------------------
+    def _near_ball(
+        self, pos: np.ndarray, radius: float
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Alive nodes within Euclidean ``radius`` <= 1 of ``pos``,
+        gathered from the unit grid cells (no O(n) scan)."""
+        base = self._cell_key(pos)
+        ids: list[int] = []
+        for off in itertools.product((-1, 0, 1), repeat=self._dim):
+            bucket = self._cells.get(tuple(c + o for c, o in zip(base, off)))
+            if bucket:
+                ids.extend(bucket)
+        if not ids:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, np.empty(0, dtype=np.float64)
+        cand = np.asarray(ids, dtype=np.int64)
+        diff = self._coords[cand] - np.asarray(pos, dtype=np.float64)
+        dist_sq = np.einsum("ij,ij->i", diff, diff)
+        keep = dist_sq <= radius * radius
+        return cand[keep], np.sqrt(dist_sq[keep])
+
+    def _kill_node_rows(self, node: int) -> None:
+        """Clear the node's own cached rows across every bin (a dead or
+        moved vertex is no grid-reachable target for the flush)."""
+        for _, crow, drow in self._cover_bins.values():
+            crow[node] = -1
+            drow[node] = np.inf
+
+    def _flush_cover_invalidation(self) -> None:
+        """Apply pending spanner-change positions to every cached bin.
+
+        A cached row ``v -> (c, d)`` can only be stale if some changed
+        edge lies on (or shortens) a path of length <= radius from
+        ``v``; edge weights dominate straight-line distance, so it
+        suffices to clear rows within Euclidean ``radius`` of any
+        changed endpoint.  Bin radii are ``delta * W_i <= delta < 1/2``
+        -- under the unit grid-cell width -- so the rows at risk come
+        out of the event sites' own cell neighborhoods, keeping the
+        flush O(changed neighborhood), not O(capacity).
+        """
+        if not self._cover_pending:
+            return
+        if not self._cover_bins:
+            self._cover_pending.clear()
+            return
+        rmax = max(radius for radius, _, _ in self._cover_bins.values())
+        pts = self._cover_pending
+        self._cover_pending = []
+        if rmax > 1.0:  # pragma: no cover - delta >= 1 never configured
+            best = np.full(self.capacity, np.inf)
+            stack = np.vstack(pts)
+            for lo in range(0, stack.shape[0], 128):
+                chunk = stack[lo : lo + 128]
+                diff = self._coords[:, None, :] - chunk[None, :, :]
+                np.minimum(
+                    best,
+                    np.einsum("nkd,nkd->nk", diff, diff).min(axis=1),
+                    out=best,
+                )
+            np.sqrt(best, out=best)
+            for radius, crow, drow in self._cover_bins.values():
+                invalidate_cover_rows(crow, drow, best <= radius)
+            return
+        hits: list[np.ndarray] = []
+        dists: list[np.ndarray] = []
+        for pos in pts:
+            ids, d = self._near_ball(pos, rmax)
+            if ids.size:
+                hits.append(ids)
+                dists.append(d)
+        if not hits:
+            return
+        ids = np.concatenate(hits)
+        d = np.concatenate(dists)
+        for radius, crow, drow in self._cover_bins.values():
+            sel = ids[d <= radius]
+            crow[sel] = -1
+            drow[sel] = np.inf
+
+    def _bin_cover(
+        self,
+        bin_idx: int,
+        radius: float,
+        endpoints: list[int],
+        report: RepairReport,
+    ) -> ClusterCover:
+        """Cover the bin's candidate endpoints, reusing cached rows.
+
+        Cache off: a cold restricted ball-growing, exactly PR 9's
+        per-event derivation.  Cache on: rows surviving invalidation
+        are served as-is (they are exact current distances); only the
+        uncovered remainder grows fresh balls -- the scalar restricted
+        reference, whose per-ball cost is O(ball), beats any dense
+        O(capacity) kernel at repair granularity -- and the new rows
+        persist for the next repair.
+        """
+        t0 = perf_counter()
+        try:
+            if not self._cover_cache_on:
+                cover = _cold_cover(self.spanner, radius, endpoints)
+                report.dirty_balls += cover.num_clusters
+                return cover
+            # Invalidation was flushed at region entry; edges this
+            # region's own promotion added invalidate at the *next*
+            # flush -- at most one region of staleness, which only
+            # perturbs equation-(1) minimizers (certification backstops
+            # stretch, and the audit flushes before checking).
+            entry = self._cover_bins.get(bin_idx)
+            if entry is None or entry[0] != radius:
+                crow = np.full(self.capacity, -1, dtype=np.int64)
+                drow = np.full(self.capacity, np.inf)
+                self._cover_bins[bin_idx] = (radius, crow, drow)
+            else:
+                _, crow, drow = entry
+            ep = np.asarray(endpoints, dtype=np.int64)
+            have = crow[ep] >= 0
+            hits = int(have.sum())
+            self._cover_hits += hits
+            self._cover_misses += int(ep.size - hits)
+            need = ep[~have]
+            if need.size:
+                sub = build_cluster_cover_reference(
+                    self.spanner, radius, vertices=need.tolist()
+                )
+                k = len(sub.assignment)
+                vs = np.fromiter(sub.assignment.keys(), np.int64, k)
+                crow[vs] = np.fromiter(sub.assignment.values(), np.int64, k)
+                drow[vs] = np.fromiter(
+                    (sub.center_distance[int(v)] for v in vs), np.float64, k
+                )
+            cover = ClusterCover.from_rows(radius, endpoints, crow, drow)
+            report.dirty_balls += cover.num_clusters
+            return cover
+        finally:
+            report.cover_s += perf_counter() - t0
+
+
+def _cold_cover(
+    spanner: Graph, radius: float, endpoints: list[int]
+) -> ClusterCover:
+    """PR 9's cacheless derivation: restricted scalar ball-growing.
+
+    Scalar because the batched kernel allocates O(n) dense state per
+    call, which would make a per-event repair O(n x bins).
+    """
+    return build_cluster_cover_reference(
+        spanner, radius, vertices=endpoints
+    )
 
 
 def _tup(pos: Sequence[float] | None) -> tuple[float, ...] | None:

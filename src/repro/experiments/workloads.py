@@ -354,6 +354,26 @@ class MobilityModel:
         self.coords[movers] = new
         return [(int(i), new[j].copy()) for j, i in enumerate(movers)]
 
+    def step_events(
+        self, move_fraction: float = 1.0, *, time: float = 0.0
+    ) -> list:
+        """Advance one epoch; return the moves as maintenance events.
+
+        The same draw as :meth:`step` (one call consumes one epoch of
+        randomness either way), packaged as ``move`` events that share
+        ``time`` -- one mobility epoch maps onto one maintenance epoch,
+        ready for :meth:`repro.core.MaintenanceSession.apply_epoch` or
+        ``apply_stream(batch="epoch")``.
+        """
+        from ..core.maintenance import MaintenanceEvent
+
+        return [
+            MaintenanceEvent(
+                "move", node, tuple(float(c) for c in pos), time
+            )
+            for node, pos in self.step(move_fraction)
+        ]
+
     def _displacements(self, movers: np.ndarray) -> np.ndarray:
         raise NotImplementedError
 

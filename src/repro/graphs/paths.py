@@ -45,6 +45,7 @@ from .graph import Graph
 __all__ = [
     "dijkstra",
     "dijkstra_distance",
+    "detour_distance",
     "bfs_hops",
     "k_hop_neighborhood",
     "k_hop_subgraph",
@@ -723,10 +724,12 @@ def dijkstra(
         includes ``source`` at distance 0).
     """
     graph._check_vertex(source)
+    adj = graph._adj  # bound once: the loop pops thousands of times
     dist: dict[int, float] = {source: 0.0}
     settled: set[int] = set()
     remaining = set(targets) if targets is not None else None
     heap: list[tuple[float, int]] = [(0.0, source)]
+    inf = float("inf")
     while heap:
         d, u = heapq.heappop(heap)
         if u in settled:
@@ -736,11 +739,11 @@ def dijkstra(
             remaining.discard(u)
             if not remaining:
                 break
-        for v, w in graph.neighbor_items(u):
+        for v, w in adj[u].items():
             nd = d + w
             if cutoff is not None and nd > cutoff:
                 continue
-            if nd < dist.get(v, float("inf")):
+            if nd < dist.get(v, inf):
                 dist[v] = nd
                 heapq.heappush(heap, (nd, v))
     if cutoff is not None:
@@ -757,9 +760,79 @@ def dijkstra_distance(
     ``cutoff``.  (Callers comparing against a threshold pass the threshold
     as ``cutoff`` and compare with ``<=``; an ``inf`` then simply fails
     the comparison, which is exactly the paper's query semantics.)
+
+    This is the innermost kernel of the maintenance engine's promotion
+    verdicts (tens of thousands of calls per churn epoch), so the
+    target-directed loop is inlined rather than delegating to
+    :func:`dijkstra`: it returns the moment ``target`` reaches the top
+    of the heap and skips the settled-dict filtering a full
+    single-source call pays on exit.  Identical floats either way.
     """
-    dist = dijkstra(graph, source, cutoff=cutoff, targets={target})
-    return dist.get(target, float("inf"))
+    graph._check_vertex(source)
+    graph._check_vertex(target)
+    if source == target:
+        return 0.0
+    adj = graph._adj
+    dist: dict[int, float] = {source: 0.0}
+    settled: set[int] = set()
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    inf = float("inf")
+    while heap:
+        d, u = heapq.heappop(heap)
+        if u in settled:
+            continue
+        if u == target:
+            return d
+        settled.add(u)
+        for v, w in adj[u].items():
+            nd = d + w
+            if cutoff is not None and nd > cutoff:
+                continue
+            if nd < dist.get(v, inf):
+                dist[v] = nd
+                heapq.heappush(heap, (nd, v))
+    return inf
+
+
+def detour_distance(
+    graph: Graph, source: int, target: int, *, cutoff: float | None = None
+) -> float:
+    """Distance from ``source`` to ``target`` avoiding their direct edge.
+
+    Equals the ``source``-``target`` distance in ``G - st``: a shortest
+    path through the edge ``st`` either *is* that edge or revisits an
+    endpoint, so forbidding the single direct relaxation is equivalent
+    to deleting the edge -- without paying the remove/re-add mutation
+    (and the snapshot/tombstone churn it causes) on a live graph.  The
+    maintenance engine's redundancy phase asks exactly this question
+    for every surviving spanner edge, so the mutation-free form is the
+    hot path.  Returns ``inf`` beyond ``cutoff`` or when no detour
+    exists; the search is target-directed like :func:`dijkstra_distance`.
+    """
+    graph._check_vertex(source)
+    graph._check_vertex(target)
+    adj = graph._adj
+    dist: dict[int, float] = {source: 0.0}
+    settled: set[int] = set()
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    inf = float("inf")
+    while heap:
+        d, u = heapq.heappop(heap)
+        if u in settled:
+            continue
+        if u == target:
+            return d
+        settled.add(u)
+        for v, w in adj[u].items():
+            if u == source and v == target:
+                continue  # the forbidden direct edge
+            nd = d + w
+            if cutoff is not None and nd > cutoff:
+                continue
+            if nd < dist.get(v, inf):
+                dist[v] = nd
+                heapq.heappush(heap, (nd, v))
+    return inf
 
 
 def bfs_hops(
